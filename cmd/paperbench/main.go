@@ -1,0 +1,215 @@
+// Command paperbench regenerates every table and figure of Lehman &
+// Carey (SIGMOD 1987) §3, printing the paper's analytic values next to
+// values measured from the simulator's real code paths.
+//
+// Usage:
+//
+//	paperbench table2           Table 2 parameter derivations
+//	paperbench graph1           Graph 1: logging capacity (records/s)
+//	paperbench graph2           Graph 2: max transaction rate
+//	paperbench graph3           Graph 3: checkpoint frequency
+//	paperbench recovery         §3.4.1: partition- vs database-level recovery
+//	paperbench predeclare       R2: §2.5's predeclare-vs-on-demand question
+//	paperbench ablate-directory A1: log page directory vs backward chain
+//	paperbench ablate-hotspot   A2: per-txn SLB chains vs global log tail
+//	paperbench ablate-commit    A3: instant vs disk-forced commit
+//	paperbench ablate-accum     A4: change accumulation (§1.2 extension)
+//	paperbench all              everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmdb/internal/experiments"
+	"mmdb/internal/model"
+)
+
+var quick = flag.Bool("quick", false, "smaller record counts for a fast pass")
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmds := map[string]func() error{
+		"table2":           table2,
+		"graph1":           graph1,
+		"graph2":           graph2,
+		"graph3":           graph3,
+		"recovery":         recovery,
+		"predeclare":       predeclare,
+		"ablate-directory": ablateDirectory,
+		"ablate-hotspot":   ablateHotspot,
+		"ablate-commit":    ablateCommit,
+		"ablate-accum":     ablateAccum,
+	}
+	run := func(name string) {
+		fn, ok := cmds[name]
+		if !ok {
+			usage()
+			os.Exit(2)
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if args[0] == "all" {
+		for _, name := range []string{"table2", "graph1", "graph2", "graph3", "recovery",
+			"predeclare", "ablate-directory", "ablate-hotspot", "ablate-commit", "ablate-accum"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	for _, name := range args {
+		run(name)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: paperbench [-quick] {table2|graph1|graph2|graph3|recovery|ablate-directory|ablate-hotspot|ablate-commit|ablate-accum|all}")
+}
+
+func n(full int) int {
+	if *quick {
+		return full / 5
+	}
+	return full
+}
+
+func table2() error {
+	p := model.PaperParams()
+	fmt.Println("Table 2 — parameters and derived quantities (paper values)")
+	fmt.Printf("  I_record_sort           %8.2f instructions/record\n", p.IRecordSort())
+	fmt.Printf("  I_page_write            %8.2f instructions/record (amortised)\n", p.IPageWrite())
+	fmt.Printf("  R_bytes_logged          %8.0f bytes/second\n", p.RBytesLogged())
+	fmt.Printf("  R_records_logged        %8.0f records/second\n", p.RRecordsLogged())
+	fmt.Printf("  max debit/credit rate   %8.0f txn/second (4 records/txn; paper: ~4,000)\n", p.MaxTransactionRate(4))
+	fmt.Printf("  ckpt frequency (best)   %8.2f /s at 10k records/s\n", p.CheckpointRateBest(10000))
+	fmt.Printf("  ckpt frequency (worst)  %8.2f /s at 10k records/s\n", p.CheckpointRateWorst(10000))
+	fmt.Printf("  ckpt txn share          %8.2f %% (60%% by count, 10 rec/txn; paper: ~1.5%%)\n",
+		100*p.CheckpointTxnFraction(10000, 0.6, 0.4, 10))
+	fmt.Printf("  min log window          %8d pages for 100 active partitions\n", p.MinLogWindowPages(100))
+	return nil
+}
+
+func graph1() error {
+	series, err := experiments.Graph1(nil, nil, n(20000))
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatSeries(
+		"Graph 1 — logging capacity of the recovery component",
+		"rec size B", "log records / second", series))
+	return nil
+}
+
+func graph2() error {
+	series, err := experiments.Graph2(nil, nil, n(20000))
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatSeries(
+		"Graph 2 — logging capacity in transactions per second",
+		"rec size B", "transactions / second", series))
+	return nil
+}
+
+func graph3() error {
+	series, err := experiments.Graph3(nil, nil, n(30000))
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatSeries(
+		"Graph 3 — checkpoint frequency vs logging rate",
+		"records/s", "checkpoints / second", series))
+	return nil
+}
+
+func recovery() error {
+	fmt.Println("§3.4.1 — post-crash recovery: partition-level vs database-level")
+	fmt.Printf("  %8s %6s  %18s %18s %18s %10s\n",
+		"parts", "hot", "part-first-txn us", "part-full us", "db-first-txn us", "speedup")
+	for _, parts := range []int{16, 32, 64, 128, 256} {
+		res, err := experiments.RecoveryComparison(parts, 4, n(32)+8)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %8d %6d  %18d %18d %18d %9.1fx\n",
+			res.Partitions, res.HotPartitions, res.PartLevelFirstUS,
+			res.PartLevelFullUS, res.DBLevelFirstUS, res.SpeedupFirstTxn)
+	}
+	fmt.Println("  (first-txn = simulated disk time until transactions can run)")
+	return nil
+}
+
+func predeclare() error {
+	fmt.Println("R2 — §2.5's open question: predeclared vs on-demand recovery")
+	fmt.Printf("  %8s %6s  %16s %14s %12s %12s %14s\n",
+		"parts", "hot", "predeclare us", "demand 1st us", "demand p50", "demand max", "demand total")
+	for _, parts := range []int{32, 128, 256} {
+		res, err := experiments.PredeclareVsDemand(parts, 8, n(200)+50, 24)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %8d %6d  %16d %14d %12d %12d %14d\n",
+			res.Partitions, res.HotParts, res.PredeclareFirstUS,
+			res.DemandFirstUS, res.DemandP50US, res.DemandMaxUS, res.DemandTotalUS)
+	}
+	fmt.Println("  (per-transaction simulated disk latency; predeclare = method 1, demand = method 2)")
+	return nil
+}
+
+func ablateDirectory() error {
+	series := experiments.DirectoryAblation(nil)
+	fmt.Print(experiments.FormatSeries(
+		"A1 — log page directory vs pure backward chain (partition recovery)",
+		"log pages", "recovery time, simulated us", series))
+	return nil
+}
+
+func ablateHotspot() error {
+	fmt.Println("A2 — per-transaction SLB chains vs single latched log tail")
+	fmt.Printf("  %8s %14s %14s %16s %16s\n", "writers", "chains ns", "global ns", "critsec chains", "critsec global")
+	for _, w := range []int{1, 4, 16} {
+		res, err := experiments.RunHotspot(w, n(4000)+500)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %8d %14d %14d %16d %16d\n",
+			w, res.PerTxnChainNS, res.GlobalTailNS,
+			res.ChainCriticalSections, res.GlobalCriticalSections)
+	}
+	fmt.Println("  (critical-section counts are the hardware-independent hot-spot measure)")
+	return nil
+}
+
+func ablateAccum() error {
+	fmt.Println("A4 — change accumulation in the stable log buffer (§1.2)")
+	fmt.Printf("  %14s %12s %14s %14s %12s\n", "updates/entity", "records in", "sorted (off)", "sorted (on)", "reduction")
+	for _, u := range []int{1, 2, 5, 10} {
+		res, err := experiments.RunAccumulation(n(200)+20, 4, u)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %14d %12d %14d %14d %11.1fx\n",
+			u, res.RecordsIn, res.RecordsSortedOff, res.RecordsSortedOn, res.ReductionFactor)
+	}
+	return nil
+}
+
+func ablateCommit() error {
+	fmt.Println("A3 — commit latency: instant (stable memory) vs disk-forced WAL")
+	fmt.Printf("  %10s %16s %16s %16s %12s\n", "rec/txn", "instant us", "sync force us", "group(8) us", "speedup")
+	for _, rpt := range []int{1, 4, 10, 20} {
+		res := experiments.CommitLatency(rpt, 24, 8)
+		fmt.Printf("  %10d %16.1f %16.1f %16.1f %11.1fx\n",
+			rpt, res.InstantUS, res.SyncForceUS, res.GroupCommitUS, res.SpeedupVsSync)
+	}
+	return nil
+}

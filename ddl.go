@@ -1,0 +1,284 @@
+package mmdb
+
+import (
+	"fmt"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/archive"
+	"mmdb/internal/catalog"
+	"mmdb/internal/core"
+	"mmdb/internal/lock"
+	"mmdb/internal/mm"
+	"mmdb/internal/simdisk"
+)
+
+// Preload recovers every partition of the relation and its indexes
+// before returning: the paper's §2.5 method 1, where a transaction
+// predeclares the relations it needs (from query compilation) and runs
+// once they are restored in their entirety. On a fully resident
+// database it is a no-op.
+func (db *DB) Preload(rel *Relation) error {
+	segs := []addr.SegmentID{rel.seg}
+	for _, idx := range rel.Indexes() {
+		segs = append(segs, idx.seg)
+	}
+	for _, seg := range segs {
+		parts, err := db.partsOfSegment(rel, seg)
+		if err != nil {
+			return err
+		}
+		for _, ps := range parts {
+			if _, err := db.store.Partition(addr.PartitionID{Segment: seg, Part: ps.Part}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DropIndex removes an index: its catalog entry, its segment, its bins,
+// and its checkpoint images.
+func (db *DB) DropIndex(rel *Relation, name string) error {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	idx := rel.Index(name)
+	if idx == nil {
+		return fmt.Errorf("%w: index %q", ErrNotFound, name)
+	}
+	parts, err := db.partsOfSegment(rel, idx.seg)
+	if err != nil {
+		return err
+	}
+	db.mu.RLock()
+	da := db.idxDescAddr[idx.idxID]
+	db.mu.RUnlock()
+
+	t := db.mgr.Txns.Begin()
+	// Writers of the index are excluded by the relation X lock.
+	if err := t.LockRelation(rel.relID, lock.X); err != nil {
+		_ = t.Abort()
+		return err
+	}
+	if err := t.LockRelation(catalog.RelIDIndexCatalog, lock.IX); err != nil {
+		_ = t.Abort()
+		return err
+	}
+	if err := t.LockEntity(da, lock.X); err != nil {
+		_ = t.Abort()
+		return err
+	}
+	for _, ps := range parts {
+		if err := t.FreePartition(addr.PartitionID{Segment: idx.seg, Part: ps.Part}); err != nil {
+			_ = t.Abort()
+			return err
+		}
+	}
+	if err := t.DeleteEntity(da); err != nil {
+		_ = t.Abort()
+		return err
+	}
+	if err := t.Commit(); err != nil {
+		_ = t.Abort()
+		return err
+	}
+	db.reapSegment(idx.seg, parts)
+	rel.removeIndex(idx)
+	db.mu.Lock()
+	delete(db.idxDescAddr, idx.idxID)
+	delete(db.segOwner, idx.seg)
+	db.mu.Unlock()
+	return nil
+}
+
+// DropRelation removes a relation, its indexes, and all their storage.
+func (db *DB) DropRelation(name string) error {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	db.mu.RLock()
+	rel := db.rels[name]
+	db.mu.RUnlock()
+	if rel == nil {
+		return fmt.Errorf("%w: relation %q", ErrNotFound, name)
+	}
+	relParts, err := db.partsOfSegment(rel, rel.seg)
+	if err != nil {
+		return err
+	}
+	type idxDrop struct {
+		idx   *Index
+		parts []catalog.PartState
+	}
+	var idxDrops []idxDrop
+	for _, idx := range rel.Indexes() {
+		parts, err := db.partsOfSegment(rel, idx.seg)
+		if err != nil {
+			return err
+		}
+		idxDrops = append(idxDrops, idxDrop{idx: idx, parts: parts})
+	}
+	db.mu.RLock()
+	relDA := db.relDescAddr[rel.relID]
+	db.mu.RUnlock()
+
+	t := db.mgr.Txns.Begin()
+	if err := t.LockRelation(rel.relID, lock.X); err != nil {
+		_ = t.Abort()
+		return err
+	}
+	if err := t.LockRelation(catalog.RelIDRelationCatalog, lock.IX); err != nil {
+		_ = t.Abort()
+		return err
+	}
+	if err := t.LockRelation(catalog.RelIDIndexCatalog, lock.IX); err != nil {
+		_ = t.Abort()
+		return err
+	}
+	for _, ps := range relParts {
+		if err := t.FreePartition(addr.PartitionID{Segment: rel.seg, Part: ps.Part}); err != nil {
+			_ = t.Abort()
+			return err
+		}
+	}
+	for _, d := range idxDrops {
+		for _, ps := range d.parts {
+			if err := t.FreePartition(addr.PartitionID{Segment: d.idx.seg, Part: ps.Part}); err != nil {
+				_ = t.Abort()
+				return err
+			}
+		}
+		db.mu.RLock()
+		da := db.idxDescAddr[d.idx.idxID]
+		db.mu.RUnlock()
+		if err := t.DeleteEntity(da); err != nil {
+			_ = t.Abort()
+			return err
+		}
+	}
+	if err := t.DeleteEntity(relDA); err != nil {
+		_ = t.Abort()
+		return err
+	}
+	if err := t.Commit(); err != nil {
+		_ = t.Abort()
+		return err
+	}
+
+	db.reapSegment(rel.seg, relParts)
+	for _, d := range idxDrops {
+		db.reapSegment(d.idx.seg, d.parts)
+	}
+	db.mu.Lock()
+	delete(db.rels, name)
+	delete(db.relByID, rel.relID)
+	delete(db.relDescAddr, rel.relID)
+	delete(db.segOwner, rel.seg)
+	for _, d := range idxDrops {
+		delete(db.idxDescAddr, d.idx.idxID)
+		delete(db.segOwner, d.idx.seg)
+	}
+	db.mu.Unlock()
+	return nil
+}
+
+// reapSegment performs the post-commit physical cleanup of a dropped
+// segment: evict the memory copy, drop the partition bins, and free the
+// checkpoint images.
+func (db *DB) reapSegment(seg addr.SegmentID, parts []catalog.PartState) {
+	for _, ps := range parts {
+		pid := addr.PartitionID{Segment: seg, Part: ps.Part}
+		db.mgr.PartitionFreed(pid)
+		if ps.Track != simdisk.NilTrack {
+			db.mgr.Hardware().Ckpt.FreeTrack(ps.Track)
+		}
+	}
+	db.store.DropSegment(seg)
+}
+
+// RecoverFromMediaFailure rebuilds the entire database after the loss
+// of the checkpoint disk set (§2.6): every partition is reconstructed
+// from the archive tape, the surviving (duplexed) log disks, and the
+// stable-memory residue, then the stable log is reinitialised and every
+// partition is re-imaged onto the (replaced) checkpoint disks.
+//
+// The returned database is fully memory-resident. Durability against a
+// subsequent crash is re-established once the re-imaging checkpoints
+// complete; WaitIdle is called before returning to guarantee that.
+func RecoverFromMediaFailure(hw *Hardware, cfg Config) (*DB, error) {
+	// Drain committed-but-unsorted chains into bins so the stable
+	// residue is complete, using a throwaway manager.
+	tmp, err := core.New(hw, cfg, mm.NewStore(cfg.PartitionSize), lock.NewManager())
+	if err != nil {
+		return nil, err
+	}
+	tmp.DrainStableOnly()
+	var residue []archive.Residue
+	for _, r := range tmp.BinResidues() {
+		residue = append(residue, archive.Residue{PID: r.PID, Records: r.Records})
+	}
+
+	store, root, err := archive.Rebuild(hw.Tape, hw.Log, residue, core.RootSentinelPID(), cfg.PartitionSize)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		root = &catalog.Root{NextRelID: catalog.FirstUserRelID, NextSeg: uint32(addr.FirstUserSegment)}
+	}
+	// The root reaches the log disk only on catalog checkpoints, so
+	// the archived copy may be stale or absent; the rebuilt store is
+	// authoritative for which catalog partitions exist.
+	root.RelCatParts = nil
+	for _, p := range store.Partitions(addr.SegRelationCatalog) {
+		root.RelCatParts = append(root.RelCatParts, catalog.PartState{Part: p.ID().Part, Track: simdisk.NilTrack})
+	}
+	root.IdxCatParts = nil
+	for _, p := range store.Partitions(addr.SegIndexCatalog) {
+		root.IdxCatParts = append(root.IdxCatParts, catalog.PartState{Part: p.ID().Part, Track: simdisk.NilTrack})
+	}
+	hw.Ckpt.Repair()
+	core.ResetStableState(hw, root)
+
+	locks := lock.NewManager()
+	mgr, err := core.New(hw, cfg, store, locks)
+	if err != nil {
+		return nil, err
+	}
+	db := newDB(cfg, mgr, store, locks)
+	if err := db.loadCatalogs(); err != nil {
+		return nil, err
+	}
+	// Allocation counters at least past everything the catalogs name.
+	var maxRel, maxIdx uint64
+	var maxSeg uint32
+	db.mu.RLock()
+	for id, rel := range db.relByID {
+		if id >= maxRel {
+			maxRel = id + 1
+		}
+		if uint32(rel.seg) >= maxSeg {
+			maxSeg = uint32(rel.seg) + 1
+		}
+		for _, idx := range rel.Indexes() {
+			if idx.idxID >= maxIdx {
+				maxIdx = idx.idxID + 1
+			}
+			if uint32(idx.seg) >= maxSeg {
+				maxSeg = uint32(idx.seg) + 1
+			}
+		}
+	}
+	db.mu.RUnlock()
+	mgr.EnsureRootCounters(maxRel, maxIdx, maxSeg)
+	db.wire()
+	mgr.Start()
+
+	// Re-image every partition so crash durability is restored.
+	pids, err := db.allPartitions()
+	if err != nil {
+		return nil, err
+	}
+	for _, pid := range pids {
+		mgr.RequestCheckpoint(pid)
+	}
+	mgr.WaitIdle()
+	return db, nil
+}

@@ -1,0 +1,131 @@
+// Inventory: a stock-keeping workload exercising both index structures —
+// T-Tree range scans for reorder reports and Modified Linear Hash point
+// lookups for SKU picks — plus updates that move rows between index key
+// ranges, with a crash/recovery cycle at the end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mmdb"
+)
+
+func main() {
+	cfg := mmdb.DefaultConfig()
+	db, err := mmdb.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	items, err := db.CreateRelation("items", mmdb.Schema{
+		{Name: "sku", Type: mmdb.Int64},
+		{Name: "qty", Type: mmdb.Int64},
+		{Name: "price", Type: mmdb.Float64},
+		{Name: "name", Type: mmdb.String},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	byQty, err := db.CreateIndex(items, "by_qty", "qty", mmdb.KindTTree, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bySKU, err := db.CreateIndex(items, "by_sku", "sku", mmdb.KindLinHash, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(2026))
+	skuToRow := map[int64]mmdb.RowID{}
+	tx := db.Begin()
+	for sku := int64(1000); sku < 1800; sku++ {
+		row, err := tx.Insert(items, mmdb.Tuple{
+			sku, int64(rng.Intn(500)), float64(rng.Intn(10000)) / 100,
+			fmt.Sprintf("part-%d", sku),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		skuToRow[sku] = row
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stocked 800 SKUs")
+
+	// Pick orders: hash lookups + quantity decrements (the decrement
+	// moves the row's position in the by_qty T-Tree).
+	for i := 0; i < 300; i++ {
+		sku := int64(1000 + rng.Intn(800))
+		tx := db.Begin()
+		var row mmdb.RowID
+		var qty int64
+		err := tx.IndexLookup(bySKU, sku, func(id mmdb.RowID, tup mmdb.Tuple) bool {
+			row, qty = id, tup[1].(int64)
+			return false
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		take := int64(rng.Intn(5) + 1)
+		if qty < take {
+			_ = tx.Abort()
+			continue
+		}
+		if err := tx.Update(items, row, map[string]any{"qty": qty - take}); err != nil {
+			log.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("processed 300 pick orders")
+
+	// Reorder report: everything with qty <= 20, in quantity order,
+	// via the T-Tree range scan.
+	report := db.Begin()
+	low := 0
+	err = report.IndexRange(byQty, int64(0), int64(20), func(id mmdb.RowID, tup mmdb.Tuple) bool {
+		low++
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = report.Abort()
+	fmt.Printf("reorder report: %d SKUs at or below 20 units\n", low)
+
+	// Crash and verify both indexes survive with consistent answers.
+	db.WaitIdle()
+	hw := db.Crash()
+	db2, err := mmdb.Recover(hw, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db2.Close()
+	items2, _ := db2.GetRelation("items")
+	byQty2 := items2.Index("by_qty")
+	bySKU2 := items2.Index("by_sku")
+
+	tx2 := db2.Begin()
+	defer tx2.Abort()
+	low2 := 0
+	if err := tx2.IndexRange(byQty2, int64(0), int64(20), func(id mmdb.RowID, tup mmdb.Tuple) bool {
+		low2++
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if low2 != low {
+		log.Fatalf("reorder report diverged after recovery: %d vs %d", low2, low)
+	}
+	var name string
+	if err := tx2.IndexLookup(bySKU2, int64(1234), func(id mmdb.RowID, tup mmdb.Tuple) bool {
+		name = tup[3].(string)
+		return false
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after crash+recovery: reorder report identical (%d SKUs), SKU 1234 = %q\n", low2, name)
+}

@@ -1,0 +1,91 @@
+// Package addr defines entity addressing for the memory-resident
+// database. Following Lehman & Carey (SIGMOD 1987, §2), every database
+// object (relation, index, or system data structure) is stored in its
+// own logical segment; segments are composed of fixed-size partitions;
+// entities (tuples or index components) are stored in partitions and do
+// not cross partition boundaries. An entity is referenced by its memory
+// address: (Segment Number, Partition Number, Partition Offset).
+package addr
+
+import "fmt"
+
+// SegmentID identifies a logical segment. Segment 0 is reserved for the
+// relation catalog, segment 1 for the index catalog.
+type SegmentID uint32
+
+// Reserved segment IDs.
+const (
+	SegRelationCatalog SegmentID = 0
+	SegIndexCatalog    SegmentID = 1
+	// FirstUserSegment is the first segment ID handed to user objects.
+	FirstUserSegment SegmentID = 2
+)
+
+// PartitionNum is the index of a partition within its segment.
+type PartitionNum uint32
+
+// Slot is the index of an entity within a partition's slot table. The
+// paper addresses entities by partition offset; we use a slot indirection
+// (a classic slotted-block layout) so that entities can move within
+// their partition's string space without changing their address.
+type Slot uint16
+
+// PartitionID names one partition globally: the unit of checkpointing,
+// log grouping, and post-crash recovery.
+type PartitionID struct {
+	Segment SegmentID
+	Part    PartitionNum
+}
+
+func (p PartitionID) String() string {
+	return fmt.Sprintf("P(%d.%d)", p.Segment, p.Part)
+}
+
+// Less orders partition IDs lexicographically (segment, partition).
+func (p PartitionID) Less(q PartitionID) bool {
+	if p.Segment != q.Segment {
+		return p.Segment < q.Segment
+	}
+	return p.Part < q.Part
+}
+
+// EntityAddr is the full address of a database entity: a relation tuple
+// or an index component.
+type EntityAddr struct {
+	Segment SegmentID
+	Part    PartitionNum
+	Slot    Slot
+}
+
+// Nil is the zero entity address. Slot tables begin handing out slots in
+// partition 0 slot 0 of segment 0 only for the catalog, so user entities
+// never collide with Nil; index code uses Nil as the null pointer.
+var Nil = EntityAddr{}
+
+// IsNil reports whether a is the null entity address.
+func (a EntityAddr) IsNil() bool { return a == Nil }
+
+// Partition returns the partition the entity lives in.
+func (a EntityAddr) Partition() PartitionID {
+	return PartitionID{Segment: a.Segment, Part: a.Part}
+}
+
+func (a EntityAddr) String() string {
+	return fmt.Sprintf("E(%d.%d.%d)", a.Segment, a.Part, a.Slot)
+}
+
+// Pack encodes the address into a uint64 for compact storage inside
+// partition-resident index nodes: 24 bits of segment, 24 bits of
+// partition, 16 bits of slot.
+func (a EntityAddr) Pack() uint64 {
+	return uint64(a.Segment)<<40 | uint64(a.Part)<<16 | uint64(a.Slot)
+}
+
+// Unpack decodes an address packed with Pack.
+func Unpack(v uint64) EntityAddr {
+	return EntityAddr{
+		Segment: SegmentID(v >> 40 & 0xFFFFFF),
+		Part:    PartitionNum(v >> 16 & 0xFFFFFF),
+		Slot:    Slot(v & 0xFFFF),
+	}
+}

@@ -1,0 +1,70 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seg uint32, part uint32, slot uint16) bool {
+		a := EntityAddr{
+			Segment: SegmentID(seg & 0xFFFFFF),
+			Part:    PartitionNum(part & 0xFFFFFF),
+			Slot:    Slot(slot),
+		}
+		return Unpack(a.Pack()) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNil(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Fatal("Nil.IsNil() = false")
+	}
+	a := EntityAddr{Segment: 1}
+	if a.IsNil() {
+		t.Fatal("non-nil address reported nil")
+	}
+	if Unpack(0) != Nil {
+		t.Fatal("Unpack(0) != Nil")
+	}
+	if Nil.Pack() != 0 {
+		t.Fatal("Nil.Pack() != 0")
+	}
+}
+
+func TestPartitionIDLess(t *testing.T) {
+	cases := []struct {
+		p, q PartitionID
+		want bool
+	}{
+		{PartitionID{0, 0}, PartitionID{0, 1}, true},
+		{PartitionID{0, 1}, PartitionID{0, 0}, false},
+		{PartitionID{1, 0}, PartitionID{2, 0}, true},
+		{PartitionID{2, 5}, PartitionID{2, 5}, false},
+		{PartitionID{1, 99}, PartitionID{2, 0}, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Less(c.q); got != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestEntityPartition(t *testing.T) {
+	a := EntityAddr{Segment: 3, Part: 7, Slot: 9}
+	if got := a.Partition(); got != (PartitionID{Segment: 3, Part: 7}) {
+		t.Fatalf("Partition() = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if s := (PartitionID{Segment: 1, Part: 2}).String(); s != "P(1.2)" {
+		t.Errorf("PartitionID.String() = %q", s)
+	}
+	if s := (EntityAddr{Segment: 1, Part: 2, Slot: 3}).String(); s != "E(1.2.3)" {
+		t.Errorf("EntityAddr.String() = %q", s)
+	}
+}

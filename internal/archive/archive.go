@@ -1,0 +1,124 @@
+// Package archive implements media-failure recovery (§2.6): the disk
+// copy of the database is the archive copy of the primary memory copy,
+// and the log pages rolled onto tape plus the still-resident log disk
+// pages form a complete per-partition operation history. Losing the
+// checkpoint disks (or the log disks, thanks to duplexing and the tape)
+// therefore never loses committed data: every partition can be rebuilt
+// from an empty image by replaying its full history in LSN order.
+package archive
+
+import (
+	"fmt"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/baseline"
+	"mmdb/internal/catalog"
+	"mmdb/internal/mm"
+	"mmdb/internal/simdisk"
+	"mmdb/internal/wal"
+)
+
+// Residue carries log records that had not yet reached the log disk at
+// the failure: the Stable Log Tail's current bin pages (stable memory
+// survives media failures).
+type Residue struct {
+	PID     addr.PartitionID
+	Records []byte // concatenated record encodings
+}
+
+// Rebuild reconstructs the entire database from the archive tape, the
+// surviving log disk pages, and the stable-memory residue, returning
+// the rebuilt store and the most recent catalog root found on the log
+// (§2.5: the root is periodically written to the log disk). rootPID is
+// the sentinel partition address under which root pages are written.
+func Rebuild(tape *simdisk.Tape, log *simdisk.DuplexLog, residue []Residue, rootPID addr.PartitionID, partSize int) (*mm.Store, *catalog.Root, error) {
+	store := mm.NewStore(partSize)
+	parts := make(map[addr.PartitionID]*mm.Partition)
+	var root *catalog.Root
+
+	applyPage := func(raw []byte) error {
+		pg, err := wal.DecodePage(raw)
+		if err != nil {
+			return err
+		}
+		if pg.PID == rootPID {
+			r, err := catalog.DecodeRoot(pg.Records)
+			if err != nil {
+				return fmt.Errorf("archive: root page: %w", err)
+			}
+			root = r
+			return nil
+		}
+		p := parts[pg.PID]
+		if p == nil {
+			p = mm.NewPartition(pg.PID, partSize)
+			parts[pg.PID] = p
+		}
+		recs, err := wal.DecodeAll(pg.Records)
+		if err != nil {
+			return err
+		}
+		for i := range recs {
+			if recs[i].PID != pg.PID {
+				continue
+			}
+			if err := baseline.Apply(p, &recs[i]); err != nil {
+				return fmt.Errorf("archive: replaying %v: %w", pg.PID, err)
+			}
+		}
+		return nil
+	}
+
+	// Tape first: it holds the oldest pages, archived in LSN order.
+	// Entries are type-framed: log pages carry TapeKindLogPage; audit
+	// pages are skipped here (they never affect database state).
+	if err := tape.Scan(func(entry []byte) error {
+		if len(entry) == 0 {
+			return fmt.Errorf("archive: empty tape entry")
+		}
+		switch entry[0] {
+		case simdisk.TapeKindLogPage:
+			return applyPage(entry[1:])
+		case simdisk.TapeKindAudit:
+			return nil
+		default:
+			return fmt.Errorf("archive: unknown tape entry kind 0x%02x", entry[0])
+		}
+	}); err != nil {
+		return nil, nil, err
+	}
+	// Then the pages still resident on the log disk, in LSN order.
+	for lsn := simdisk.LSN(1); lsn < log.NextLSN(); lsn++ {
+		raw, err := log.Read(lsn)
+		if err != nil {
+			continue // archived (on tape) or never written
+		}
+		if err := applyPage(raw); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Finally the stable-memory residue: records newer than any log
+	// page of their partition.
+	for _, r := range residue {
+		p := parts[r.PID]
+		if p == nil {
+			p = mm.NewPartition(r.PID, partSize)
+			parts[r.PID] = p
+		}
+		recs, err := wal.DecodeAll(r.Records)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range recs {
+			if err := baseline.Apply(p, &recs[i]); err != nil {
+				return nil, nil, fmt.Errorf("archive: residue of %v: %w", r.PID, err)
+			}
+		}
+	}
+
+	for pid, p := range parts {
+		store.EnsureSegment(pid.Segment)
+		store.Install(p)
+	}
+	return store, root, nil
+}

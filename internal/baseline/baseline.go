@@ -1,0 +1,288 @@
+// Package baseline implements the comparison points of §1.1/§1.2 and
+// §3.4.1:
+//
+//   - Engine: database-level recovery, the "one very large partition"
+//     special case — checkpoints stream the entire memory-resident
+//     database to disk (à la Hagmann [Hagmann 86]) and restart reloads
+//     the entire database and processes the whole log before any
+//     transaction can run;
+//   - SyncWAL: a disk-synchronised write-ahead log in the style of
+//     Lindsay et al. (method 4 of §1.1), where commit waits for the log
+//     force; used to quantify what the stable-memory instant commit
+//     buys.
+//
+// Both share the simulated hardware and cost accounting, so their
+// numbers are directly comparable with the partition-level design in
+// package core.
+package baseline
+
+import (
+	"fmt"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/cost"
+	"mmdb/internal/mm"
+	"mmdb/internal/simdisk"
+	"mmdb/internal/wal"
+)
+
+// Engine is a database-level-recovery storage engine over the same
+// partitioned memory organisation. It logs committed operations to a
+// single global log stream and checkpoints the whole database at once.
+type Engine struct {
+	store    *mm.Store
+	logDisk  *simdisk.DuplexLog
+	ckptDisk *simdisk.CheckpointDisk
+	meter    *cost.Meter
+	pageSize int
+
+	cur      []byte        // current global log page
+	logPages []simdisk.LSN // pages since the last full checkpoint
+
+	// Last full-database checkpoint: image tracks in partition order.
+	ckptParts  []addr.PartitionID
+	ckptTracks []simdisk.TrackLoc
+	nextTrack  simdisk.TrackLoc
+}
+
+// New creates a database-level engine over fresh simulated hardware
+// components. partSize is the partition size used by its store.
+func New(partSize, logPageSize, ckptTracks int, disk simdisk.Params, meter *cost.Meter) *Engine {
+	return &Engine{
+		store:    mm.NewStore(partSize),
+		logDisk:  simdisk.NewDuplexLog(disk, meter),
+		ckptDisk: simdisk.NewCheckpointDisk(ckptTracks, disk, meter),
+		meter:    meter,
+		pageSize: logPageSize,
+	}
+}
+
+// Store returns the engine's memory manager.
+func (e *Engine) Store() *mm.Store { return e.store }
+
+// Meter returns the engine's cost meter.
+func (e *Engine) Meter() *cost.Meter { return e.meter }
+
+// Commit durably logs one committed transaction's records, appended to
+// the single global log stream in commit order.
+func (e *Engine) Commit(records []wal.Record) error {
+	for i := range records {
+		enc := records[i].Encode(nil)
+		if len(e.cur)+len(enc) > e.pageSize && len(e.cur) > 0 {
+			if err := e.flushLogPage(); err != nil {
+				return err
+			}
+		}
+		e.cur = append(e.cur, enc...)
+	}
+	return nil
+}
+
+func (e *Engine) flushLogPage() error {
+	if len(e.cur) == 0 {
+		return nil
+	}
+	lsn, err := e.logDisk.Append(e.cur)
+	if err != nil {
+		return err
+	}
+	e.logPages = append(e.logPages, lsn)
+	e.cur = nil
+	return nil
+}
+
+// LogPages returns the number of log pages accumulated since the last
+// checkpoint (plus the partial current page).
+func (e *Engine) LogPages() int {
+	n := len(e.logPages)
+	if len(e.cur) > 0 {
+		n++
+	}
+	return n
+}
+
+// Checkpoint streams the entire memory-resident database to the
+// checkpoint disk — Hagmann's scheme and the degenerate case of
+// partition-level checkpointing with one huge partition (§3.4.1). The
+// caller must present a quiescent (transaction-consistent) database.
+func (e *Engine) Checkpoint() error {
+	if err := e.flushLogPage(); err != nil {
+		return err
+	}
+	pids := e.store.ResidentIDs()
+	parts := make([]addr.PartitionID, 0, len(pids))
+	tracks := make([]simdisk.TrackLoc, 0, len(pids))
+	for _, pid := range pids {
+		p, err := e.store.Partition(pid)
+		if err != nil {
+			return err
+		}
+		t := e.nextTrack
+		e.nextTrack = (e.nextTrack + 1) % simdisk.TrackLoc(e.ckptDisk.Tracks())
+		if err := e.ckptDisk.WriteTrack(t, p.Snapshot()); err != nil {
+			return err
+		}
+		parts = append(parts, pid)
+		tracks = append(tracks, t)
+	}
+	e.ckptParts = parts
+	e.ckptTracks = tracks
+	// The whole log is superseded by the full image.
+	if len(e.logPages) > 0 {
+		e.logDisk.Drop(e.logPages[len(e.logPages)-1])
+	}
+	e.logPages = nil
+	return nil
+}
+
+// Recover performs database-level restart: reload every partition of
+// the checkpoint image and process the entire log, after which — and
+// only after which — transaction processing may resume. It returns the
+// recovered store.
+func (e *Engine) Recover(partSize int) (*mm.Store, error) {
+	store := mm.NewStore(partSize)
+	byPID := make(map[addr.PartitionID]*mm.Partition, len(e.ckptParts))
+	for i, pid := range e.ckptParts {
+		img, err := e.ckptDisk.ReadTrack(e.ckptTracks[i])
+		if err != nil {
+			return nil, fmt.Errorf("baseline: image of %v: %w", pid, err)
+		}
+		p := mm.FromImage(pid, img)
+		store.EnsureSegment(pid.Segment)
+		store.Install(p)
+		byPID[pid] = p
+	}
+	apply := func(buf []byte) error {
+		recs, err := wal.DecodeAll(buf)
+		if err != nil {
+			return err
+		}
+		for i := range recs {
+			r := &recs[i]
+			p := byPID[r.PID]
+			if p == nil {
+				store.EnsureSegment(r.PID.Segment)
+				np, err := store.AllocPartitionAt(r.PID)
+				if err != nil {
+					return err
+				}
+				p = np
+				byPID[r.PID] = p
+			}
+			if err := Apply(p, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, lsn := range e.logPages {
+		page, err := e.logDisk.Read(lsn)
+		if err != nil {
+			return nil, err
+		}
+		if err := apply(page); err != nil {
+			return nil, err
+		}
+	}
+	if len(e.cur) > 0 {
+		// The partial page was in (stable) memory at the crash.
+		if err := apply(e.cur); err != nil {
+			return nil, err
+		}
+	}
+	e.store = store
+	return store, nil
+}
+
+// Apply applies one REDO record to a partition with the same lenient
+// semantics as the partition-level recovery component.
+func Apply(p *mm.Partition, r *wal.Record) error {
+	switch r.Tag {
+	case wal.TagRelInsert, wal.TagIdxInsert:
+		if _, err := p.Read(r.Slot); err == nil {
+			return p.Update(r.Slot, r.Data)
+		}
+		return p.InsertAt(r.Slot, r.Data)
+	case wal.TagRelUpdate, wal.TagIdxUpdate:
+		if _, err := p.Read(r.Slot); err != nil {
+			return p.InsertAt(r.Slot, r.Data)
+		}
+		return p.Update(r.Slot, r.Data)
+	case wal.TagRelDelete, wal.TagIdxDelete:
+		_ = p.Delete(r.Slot)
+		return nil
+	case wal.TagRelWrite, wal.TagIdxWrite:
+		cur, err := p.Read(r.Slot)
+		if err != nil || int(r.Off)+len(r.Data) > len(cur) {
+			return nil
+		}
+		return p.WriteAt(r.Slot, int(r.Off), r.Data)
+	case wal.TagPartAlloc, wal.TagPartFree:
+		return nil
+	default:
+		return fmt.Errorf("baseline: unknown tag %v", r.Tag)
+	}
+}
+
+// SyncWAL models the disk-force commit path of a conventional
+// write-ahead-log scheme (Lindsay et al., §1.1 method 4): a committing
+// transaction waits until its log records reach the disk. Group commit
+// batches the force across waiting transactions.
+type SyncWAL struct {
+	disk      *simdisk.LogDisk
+	params    simdisk.Params
+	meter     *cost.Meter
+	pageSize  int
+	buf       []byte
+	groupSize int // transactions per force (1 = no group commit)
+	pending   int
+	// ForcesIssued counts physical log forces.
+	ForcesIssued int64
+}
+
+// NewSyncWAL creates the baseline committer. groupSize of 1 disables
+// group commit.
+func NewSyncWAL(pageSize, groupSize int, params simdisk.Params, meter *cost.Meter) *SyncWAL {
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	return &SyncWAL{
+		disk:      simdisk.NewLogDisk(params, meter),
+		params:    params,
+		meter:     meter,
+		pageSize:  pageSize,
+		groupSize: groupSize,
+	}
+}
+
+// Commit appends one transaction's records and, at the group boundary,
+// forces the log: the caller's simulated commit latency is the returned
+// number of microseconds.
+func (w *SyncWAL) Commit(records []wal.Record) (int64, error) {
+	for i := range records {
+		w.buf = append(w.buf, records[i].Encode(nil)...)
+	}
+	w.pending++
+	if w.pending < w.groupSize {
+		// Pre-commit: locks released, but the transaction officially
+		// commits when the group's log force completes; we charge no
+		// latency here (the force is attributed to the group).
+		return 0, nil
+	}
+	w.pending = 0
+	latency := int64(0)
+	for len(w.buf) > 0 {
+		n := w.pageSize
+		if n > len(w.buf) {
+			n = len(w.buf)
+		}
+		if _, err := w.disk.Append(w.buf[:n]); err != nil {
+			return 0, err
+		}
+		// Commit latency: rotation to the write slot plus transfer.
+		latency += w.params.RotateMicros + int64(n)*1e6/w.params.BytesPerSec
+		w.buf = w.buf[n:]
+		w.ForcesIssued++
+	}
+	return latency, nil
+}

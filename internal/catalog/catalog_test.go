@@ -1,0 +1,150 @@
+package catalog
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/heap"
+	"mmdb/internal/simdisk"
+)
+
+func sampleRelation() *RelationDesc {
+	return &RelationDesc{
+		RelID: 7,
+		Name:  "accounts",
+		Seg:   4,
+		Schema: heap.Schema{
+			{Name: "id", Type: heap.Int64},
+			{Name: "balance", Type: heap.Float64},
+			{Name: "owner", Type: heap.String},
+		},
+		Parts: []PartState{
+			{Part: 0, Track: 3},
+			{Part: 1, Track: simdisk.NilTrack},
+		},
+	}
+}
+
+func TestRelationRoundTrip(t *testing.T) {
+	d := sampleRelation()
+	got, err := DecodeRelation(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, d)
+	}
+	// NilTrack survives the int32<->uint32 packing.
+	if got.Parts[1].Track != simdisk.NilTrack {
+		t.Fatalf("NilTrack decoded as %d", got.Parts[1].Track)
+	}
+}
+
+func TestRelationRoundTripEmptyParts(t *testing.T) {
+	d := &RelationDesc{RelID: 1, Name: "x", Seg: 2, Schema: heap.Schema{{Name: "a", Type: heap.Int64}}}
+	got, err := DecodeRelation(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Parts) != 0 || got.Name != "x" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	d := &IndexDesc{
+		IdxID:  9,
+		Name:   "accounts_id",
+		RelID:  7,
+		Seg:    5,
+		Kind:   KindTTree,
+		Column: 0,
+		Order:  16,
+		Header: addr.EntityAddr{Segment: 5, Part: 0, Slot: 0},
+		Parts:  []PartState{{Part: 0, Track: 11}},
+	}
+	got, err := DecodeIndex(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, d)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	enc := sampleRelation().Encode()
+	for _, cut := range []int{0, 3, 9, len(enc) - 1} {
+		if _, err := DecodeRelation(enc[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("cut %d: %v", cut, err)
+		}
+	}
+	if _, err := DecodeRelation(append(enc, 1)); !errors.Is(err, ErrCorrupt) {
+		t.Error("trailing bytes accepted")
+	}
+	idx := (&IndexDesc{IdxID: 1, Name: "i", Kind: KindLinHash}).Encode()
+	if _, err := DecodeIndex(idx[:5]); !errors.Is(err, ErrCorrupt) {
+		t.Error("truncated index accepted")
+	}
+}
+
+func TestRootRoundTrip(t *testing.T) {
+	r := &Root{
+		RelCatParts: []PartState{{Part: 0, Track: 1}, {Part: 1, Track: simdisk.NilTrack}},
+		IdxCatParts: []PartState{{Part: 0, Track: 2}},
+		NextRelID:   12,
+		NextIdxID:   4,
+		NextSeg:     9,
+	}
+	got, err := DecodeRoot(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestRootClone(t *testing.T) {
+	r := &Root{RelCatParts: []PartState{{Part: 0, Track: 1}}, NextRelID: 5}
+	c := r.Clone()
+	c.RelCatParts[0].Track = 9
+	c.NextRelID = 6
+	if r.RelCatParts[0].Track != 1 || r.NextRelID != 5 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestQuickRelationRoundTrip(t *testing.T) {
+	f := func(id uint64, name string, seg uint32, parts []uint32) bool {
+		if len(name) > 1000 {
+			name = name[:1000]
+		}
+		d := &RelationDesc{
+			RelID:  id,
+			Name:   name,
+			Seg:    addr.SegmentID(seg),
+			Schema: heap.Schema{{Name: "k", Type: heap.Int64}},
+		}
+		for i, p := range parts {
+			d.Parts = append(d.Parts, PartState{Part: addr.PartitionNum(p), Track: simdisk.TrackLoc(int32(i - 1))})
+		}
+		got, err := DecodeRelation(d.Encode())
+		return err == nil && reflect.DeepEqual(got, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindTTree.String() != "ttree" || KindLinHash.String() != "linhash" {
+		t.Fatal("kind names")
+	}
+	if IndexKind(9).String() != "kind(9)" {
+		t.Fatal("unknown kind name")
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"mmdb/internal/simdisk"
+	"mmdb/internal/stablemem"
+)
+
+// auditRootKey names the audit trail in the stable memory root.
+const auditRootKey = "mmdb-audit"
+
+// The logging component manages two logs (§2.3.2): the REDO/UNDO log,
+// and an audit trail holding regular audit data — the contents of the
+// message that initiated the transaction, time of day, user data — kept
+// in stable memory in the manner of DeWitt et al. [DeWitt 84]. The
+// audit trail is not needed for database consistency; it survives
+// crashes in stable memory and is spooled to the archive tape when its
+// buffer fills.
+
+// AuditEntry is one audit record.
+type AuditEntry struct {
+	Txn     uint64
+	When    int64 // caller-supplied timestamp (simulated or wall clock)
+	Message []byte
+}
+
+func (e *AuditEntry) encode() []byte {
+	out := make([]byte, 0, 8+8+4+len(e.Message))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], e.Txn)
+	out = append(out, b[:]...)
+	binary.LittleEndian.PutUint64(b[:], uint64(e.When))
+	out = append(out, b[:]...)
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(e.Message)))
+	out = append(out, b[:4]...)
+	return append(out, e.Message...)
+}
+
+func decodeAuditEntries(buf []byte) []AuditEntry {
+	var out []AuditEntry
+	for len(buf) >= 20 {
+		e := AuditEntry{
+			Txn:  binary.LittleEndian.Uint64(buf),
+			When: int64(binary.LittleEndian.Uint64(buf[8:])),
+		}
+		n := int(binary.LittleEndian.Uint32(buf[16:]))
+		buf = buf[20:]
+		if len(buf) < n {
+			break
+		}
+		e.Message = append([]byte(nil), buf[:n]...)
+		buf = buf[n:]
+		out = append(out, e)
+	}
+	return out
+}
+
+// auditState is the stable audit-trail buffer.
+type auditState struct {
+	mu  sync.Mutex
+	buf *stablemem.Block
+}
+
+// AuditTrail is the volatile handle over the stable audit buffer.
+type AuditTrail struct {
+	st      *auditState
+	mem     *stablemem.Memory
+	tape    interface{ Append([]byte) }
+	bufSize int
+}
+
+// Audit returns the manager's audit trail, creating its stable buffer
+// on first use.
+func (m *Manager) Audit() (*AuditTrail, error) {
+	st, _ := m.hw.Stable.Root(auditRootKey).(*auditState)
+	if st == nil {
+		blk, err := m.hw.Stable.NewBlock(64 << 10)
+		if err != nil {
+			return nil, err
+		}
+		st = &auditState{buf: blk}
+		m.hw.Stable.SetRoot(auditRootKey, st)
+	}
+	return &AuditTrail{st: st, mem: m.hw.Stable, tape: m.hw.Tape, bufSize: 64 << 10}, nil
+}
+
+// Append records one audit entry; transactions call it at initiation.
+// When the stable buffer fills, its contents are spooled to the archive
+// tape (prefixed so archive scans can distinguish audit pages from log
+// pages — audit pages start with the marker byte 0xA5, which is not a
+// valid wal record tag).
+func (a *AuditTrail) Append(e AuditEntry) error {
+	enc := e.encode()
+	a.st.mu.Lock()
+	defer a.st.mu.Unlock()
+	if a.st.buf.Remaining() < len(enc) {
+		a.spoolLocked()
+	}
+	if !a.st.buf.Append(enc) {
+		// Entry larger than the whole buffer: spool it directly.
+		a.tape.Append(append([]byte{simdisk.TapeKindAudit}, enc...))
+		return nil
+	}
+	return nil
+}
+
+func (a *AuditTrail) spoolLocked() {
+	if a.st.buf.Len() == 0 {
+		return
+	}
+	a.tape.Append(append([]byte{simdisk.TapeKindAudit}, a.st.buf.Bytes()...))
+	a.st.buf.Reset()
+}
+
+// Flush spools the buffered entries to tape.
+func (a *AuditTrail) Flush() {
+	a.st.mu.Lock()
+	defer a.st.mu.Unlock()
+	a.spoolLocked()
+}
+
+// Pending returns the entries currently buffered in stable memory (the
+// ones a crash would preserve without tape involvement).
+func (a *AuditTrail) Pending() []AuditEntry {
+	a.st.mu.Lock()
+	defer a.st.mu.Unlock()
+	return decodeAuditEntries(a.st.buf.Bytes())
+}
+
+// IsAuditPage reports whether an archive tape entry is an audit page.
+func IsAuditPage(entry []byte) bool {
+	return len(entry) > 0 && entry[0] == simdisk.TapeKindAudit
+}
+
+// DecodeAuditPage parses an audit tape entry.
+func DecodeAuditPage(entry []byte) []AuditEntry {
+	if !IsAuditPage(entry) {
+		return nil
+	}
+	return decodeAuditEntries(entry[1:])
+}

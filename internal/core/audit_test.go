@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mmdb/internal/simdisk"
+)
+
+func TestAuditTrailAppendPending(t *testing.T) {
+	h := newHarness(t, testCfg())
+	a, err := h.m.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Append(AuditEntry{Txn: uint64(i), When: int64(1000 + i), Message: []byte(fmt.Sprintf("msg-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := a.Pending()
+	if len(got) != 10 {
+		t.Fatalf("Pending = %d entries", len(got))
+	}
+	for i, e := range got {
+		if e.Txn != uint64(i) || e.When != int64(1000+i) || !bytes.Equal(e.Message, []byte(fmt.Sprintf("msg-%d", i))) {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+}
+
+func TestAuditTrailSurvivesCrash(t *testing.T) {
+	h := newHarness(t, testCfg())
+	a, err := h.m.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(AuditEntry{Txn: 7, When: 42, Message: []byte("pre-crash")}); err != nil {
+		t.Fatal(err)
+	}
+	h.crash()
+	defer h.m.Stop()
+	a2, err := h.m.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a2.Pending()
+	if len(got) != 1 || got[0].Txn != 7 || string(got[0].Message) != "pre-crash" {
+		t.Fatalf("audit lost across crash: %+v", got)
+	}
+}
+
+func TestAuditTrailSpoolsToTape(t *testing.T) {
+	h := newHarness(t, testCfg())
+	a, err := h.m.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 8<<10)
+	for i := 0; i < 12; i++ { // ~96KB > 64KB buffer
+		if err := a.Append(AuditEntry{Txn: uint64(i), Message: big}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.hw.Tape.Len() == 0 {
+		t.Fatal("full audit buffer not spooled")
+	}
+	a.Flush()
+	if len(a.Pending()) != 0 {
+		t.Fatal("Flush left pending entries")
+	}
+	// Tape entries are recognisable audit pages, and decodable.
+	var audits int
+	_ = h.hw.Tape.Scan(func(e []byte) error {
+		if IsAuditPage(e) {
+			audits += len(DecodeAuditPage(e))
+		}
+		return nil
+	})
+	if audits != 12 {
+		t.Fatalf("decoded %d audit entries from tape, want 12", audits)
+	}
+}
+
+func TestAuditOversizedEntryGoesStraightToTape(t *testing.T) {
+	h := newHarness(t, testCfg())
+	a, err := h.m.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]byte, 80<<10) // larger than the 64KB buffer
+	if err := a.Append(AuditEntry{Txn: 1, Message: huge}); err != nil {
+		t.Fatal(err)
+	}
+	if h.hw.Tape.Len() != 1 {
+		t.Fatalf("tape entries = %d", h.hw.Tape.Len())
+	}
+	if len(a.Pending()) != 0 {
+		t.Fatal("oversized entry buffered")
+	}
+}
+
+func TestAuditPagesDoNotBreakArchiveRebuild(t *testing.T) {
+	// Interleave audit spools with real log archiving and ensure the
+	// tape type-framing keeps them apart.
+	cfg := testCfg()
+	cfg.LogWindowPages = 8
+	cfg.UpdateThreshold = 16
+	h := newHarness(t, cfg)
+	h.start()
+	defer h.m.Stop()
+	a, err := h.m.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := h.seg()
+	addr1 := h.insert(seg, []byte("x"))
+	for i := 0; i < 300; i++ {
+		h.update(addr1, []byte(fmt.Sprintf("v%03d", i%100)))
+		if i%25 == 0 {
+			if err := a.Append(AuditEntry{Txn: uint64(i), Message: make([]byte, 60<<10)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	h.m.WaitIdle()
+	var logPages, auditPages, other int
+	_ = h.hw.Tape.Scan(func(e []byte) error {
+		switch {
+		case IsAuditPage(e):
+			auditPages++
+		case len(e) > 0 && e[0] == simdisk.TapeKindLogPage:
+			logPages++
+		default:
+			other++
+		}
+		return nil
+	})
+	if other != 0 {
+		t.Fatalf("%d unframed tape entries", other)
+	}
+	if auditPages == 0 {
+		t.Fatal("no audit pages spooled")
+	}
+}

@@ -1,0 +1,100 @@
+// Package core implements the paper's recovery component: the Stable
+// Log Buffer and Stable Log Tail in stable reliable memory, the
+// recovery-CPU loop that sorts committed log records into partition
+// bins and flushes bin pages to the duplexed log disks, update-count
+// and age (log-window) checkpoint triggering, the main-CPU checkpoint
+// transactions against the pseudo-circular checkpoint disk queue, and
+// two-phase post-crash recovery: catalogs first, then partitions on
+// demand with a low-priority background sweep (§2).
+package core
+
+import (
+	"mmdb/internal/model"
+	"mmdb/internal/simdisk"
+)
+
+// Config carries every tunable of the recovery architecture. The
+// defaults reproduce Table 2.
+type Config struct {
+	// PartitionSize is S_partition: the fixed partition size in bytes.
+	PartitionSize int
+	// LogPageSize is S_log_page: the partition-bin log page size.
+	LogPageSize int
+	// SLBBlockSize is the fixed block size of the Stable Log Buffer;
+	// blocks are allocated to transactions on demand and dedicated to
+	// one transaction for their lifetime (§2.3.1).
+	SLBBlockSize int
+	// UpdateThreshold is N_update: log records a partition may
+	// accumulate before a checkpoint is triggered by update count.
+	UpdateThreshold int
+	// LogWindowPages is the size of the log window: the fixed amount
+	// of log disk space that moves forward as pages are written.
+	LogWindowPages int
+	// GracePages triggers age checkpoints this many pages before a
+	// partition's first log page would fall off the window (§2.3.3's
+	// grace period).
+	GracePages int
+	// DirSize is N: the log page directory size; chosen near the
+	// median page count of an active partition so recovery can read
+	// pages in written order (§2.3.3).
+	DirSize int
+	// CheckpointTracks is the checkpoint disk capacity in tracks.
+	CheckpointTracks int
+	// StableBytes / StableSlowdown configure the stable reliable
+	// memory (§1: two to four times slower than regular memory).
+	StableBytes    int64
+	StableSlowdown int
+	// Disk is the drive timing model.
+	Disk simdisk.Params
+	// Cost carries the Table 2 instruction costs charged by the
+	// recovery CPU's code paths.
+	Cost model.Params
+	// BackgroundRecovery starts the low-priority sweep that restores
+	// not-yet-demanded partitions after a crash (§2.5).
+	BackgroundRecovery bool
+	// ChangeAccumulation enables §1.2's stable-buffer post-processing:
+	// the recovery CPU coalesces each committed transaction's records
+	// before binning them, shrinking the log at the cost of some
+	// sorter CPU.
+	ChangeAccumulation bool
+}
+
+// DefaultConfig returns the paper's environment: 48 KB partitions, 8 KB
+// log pages, N_update = 1000, a few megabytes of stable memory at 4x
+// slowdown, and the Table 2 instruction costs.
+func DefaultConfig() Config {
+	return Config{
+		PartitionSize:      48 << 10,
+		LogPageSize:        8 << 10,
+		SLBBlockSize:       2 << 10,
+		UpdateThreshold:    1000,
+		LogWindowPages:     4096,
+		GracePages:         16,
+		DirSize:            8,
+		CheckpointTracks:   4096,
+		StableBytes:        8 << 20,
+		StableSlowdown:     4,
+		Disk:               simdisk.DefaultParams(),
+		Cost:               model.PaperParams(),
+		BackgroundRecovery: true,
+	}
+}
+
+// Stats is a snapshot of recovery-component counters.
+type Stats struct {
+	RecordsSorted      int64 // records moved SLB -> SLT bins
+	RecordsAccumulated int64 // records removed by change accumulation
+	BytesSorted        int64
+	PagesFlushed       int64 // bin pages written to the log disk
+	CkptByUpdateCount  int64 // checkpoints triggered by update count
+	CkptByAge          int64 // checkpoints triggered by age
+	CkptCompleted      int64
+	CkptFailed         int64
+	CkptAbandoned      int64 // requests dropped after repeated failures
+	PagesArchived      int64 // log pages rolled to tape
+	WindowOverruns     int64 // pages kept past the window for safety
+	PartsRecovered     int64 // partitions restored post-crash
+	RecoveryLogPages   int64 // log pages read during recovery
+	TxnsCommitted      int64
+	TxnsAborted        int64
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"mmdb/internal/cost"
+	"mmdb/internal/simdisk"
+	"mmdb/internal/stablemem"
+)
+
+// Hardware bundles everything that survives a crash: the stable
+// reliable memory (holding the Stable Log Buffer, Stable Log Tail, and
+// the well-known root), the duplexed log disks, the checkpoint disk
+// set, and the archive tape — plus the cost meter (§2.2, Figure 1).
+//
+// DB.Crash() discards every volatile structure and returns this value;
+// Recover builds a fresh system around it.
+type Hardware struct {
+	Stable *stablemem.Memory
+	Log    *simdisk.DuplexLog
+	Ckpt   *simdisk.CheckpointDisk
+	Tape   *simdisk.Tape
+	Meter  *cost.Meter
+}
+
+// NewHardware builds the hardware complement for a fresh database.
+func NewHardware(cfg Config) *Hardware {
+	m := &cost.Meter{}
+	return &Hardware{
+		Stable: stablemem.New(cfg.StableBytes, cfg.StableSlowdown, m),
+		Log:    simdisk.NewDuplexLog(cfg.Disk, m),
+		Ckpt:   simdisk.NewCheckpointDisk(cfg.CheckpointTracks, cfg.Disk, m),
+		Tape:   simdisk.NewTape(),
+		Meter:  m,
+	}
+}

@@ -1,0 +1,607 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/lock"
+	"mmdb/internal/mm"
+	"mmdb/internal/simdisk"
+	"mmdb/internal/txn"
+	"mmdb/internal/wal"
+)
+
+// rootPID is the sentinel partition address of root pages on the log
+// disk (the catalog root is "periodically written to the log disk",
+// §2.5).
+var rootPID = addr.PartitionID{Segment: 0xFFFFFF, Part: 0xFFFFFF}
+
+// Callbacks let the database facade supply catalog knowledge without a
+// dependency cycle: the recovery component needs to map partitions to
+// their relations (for checkpoint read locks), install checkpoint
+// locations in catalog entries, and locate checkpoint images during
+// recovery.
+type Callbacks struct {
+	// OwnerRel maps a partition to the relation ID whose read lock
+	// makes the partition transaction-consistent (§2.4 step 3). For
+	// an index partition this is the indexed relation. ok=false means
+	// the partition no longer exists (freed).
+	OwnerRel func(pid addr.PartitionID) (relID uint64, ok bool)
+	// InstallCkpt performs the logged catalog update recording the
+	// partition's new checkpoint disk location, inside the checkpoint
+	// transaction, and returns the previous location (§2.4 steps
+	// 5–6). It must NOT write the image itself.
+	InstallCkpt func(t *txn.Txn, pid addr.PartitionID, track simdisk.TrackLoc) (old simdisk.TrackLoc, err error)
+	// Locate returns the partition's current checkpoint disk
+	// location, NilTrack if it has never been checkpointed.
+	Locate func(pid addr.PartitionID) (simdisk.TrackLoc, error)
+	// AllPartitions enumerates every partition in the database (from
+	// the catalogs) for the background recovery sweep.
+	AllPartitions func() ([]addr.PartitionID, error)
+}
+
+// Hooks are test seams: a non-nil hook runs at the named point inside
+// the checkpoint transaction; returning an error aborts that checkpoint
+// attempt (simulating a crash or fault at that point).
+type Hooks struct {
+	AfterFence      func(pid addr.PartitionID) error
+	AfterImageWrite func(pid addr.PartitionID) error
+	BeforeCommit    func(pid addr.PartitionID) error
+}
+
+// drainMsg asks the recovery CPU to sort all currently committed
+// chains and then fence the partition's bin.
+type drainMsg struct {
+	pid   addr.PartitionID
+	reply chan error
+}
+
+// finishMsg tells the recovery CPU a checkpoint committed: flush and
+// drop the fenced prefix (§2.4 step 7).
+type finishMsg struct {
+	pid   addr.PartitionID
+	track simdisk.TrackLoc
+	reply chan error
+}
+
+// Manager is the recovery component: it owns the stable log structures
+// and the two "CPUs'" recovery duties. The main CPU's transaction
+// processing runs through Txns; the recovery CPU is a dedicated
+// goroutine.
+type Manager struct {
+	cfg   Config
+	hw    *Hardware
+	store *mm.Store
+	locks *lock.Manager
+	Txns  *txn.Manager
+
+	slb  *slb
+	slt  *slt
+	dmap *diskMap
+
+	cb    Callbacks
+	Hooks Hooks
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	drainCh  chan drainMsg
+	finishCh chan finishMsg
+	freedCh  chan addr.PartitionID
+
+	stats struct {
+		recordsSorted      atomic.Int64
+		recordsAccumulated atomic.Int64
+		bytesSorted        atomic.Int64
+		pagesFlushed       atomic.Int64
+		ckptByUpdateCount  atomic.Int64
+		ckptByAge          atomic.Int64
+		ckptCompleted      atomic.Int64
+		ckptFailed         atomic.Int64
+		ckptAbandoned      atomic.Int64
+		pagesArchived      atomic.Int64
+		windowOverruns     atomic.Int64
+		partsRecovered     atomic.Int64
+		recoveryLogPages   atomic.Int64
+		txnsCommitted      atomic.Int64
+		txnsAborted        atomic.Int64
+	}
+}
+
+// New creates the recovery component over hardware hw. For a fresh
+// database the stable memory is empty; after a crash, Attach recovers
+// the stable structures (use Restart for the full §2.5 sequence).
+func New(hw *Hardware, cfg Config, store *mm.Store, locks *lock.Manager) (*Manager, error) {
+	s, err := newSLB(hw.Stable, cfg.SLBBlockSize)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:      cfg,
+		hw:       hw,
+		store:    store,
+		locks:    locks,
+		slb:      s,
+		slt:      newSLT(hw.Stable),
+		dmap:     newDiskMap(cfg.CheckpointTracks),
+		stop:     make(chan struct{}),
+		drainCh:  make(chan drainMsg),
+		finishCh: make(chan finishMsg),
+		freedCh:  make(chan addr.PartitionID, 64),
+	}
+	m.Txns = txn.NewManager(store, locks, &sinkWrapper{m: m})
+	return m, nil
+}
+
+// sinkWrapper counts commits/aborts on top of the SLB sink.
+type sinkWrapper struct{ m *Manager }
+
+func (w *sinkWrapper) BeginTxn(id uint64)              { w.m.slb.BeginTxn(id) }
+func (w *sinkWrapper) WriteRecord(r *wal.Record) error { return w.m.slb.WriteRecord(r) }
+func (w *sinkWrapper) AbortTxn(id uint64) {
+	w.m.stats.txnsAborted.Add(1)
+	w.m.slb.AbortTxn(id)
+}
+func (w *sinkWrapper) CommitTxn(id uint64) error {
+	if err := w.m.slb.CommitTxn(id); err != nil {
+		return err
+	}
+	w.m.stats.txnsCommitted.Add(1)
+	return nil
+}
+
+// SetCallbacks installs the facade's catalog callbacks; must be called
+// before Start.
+func (m *Manager) SetCallbacks(cb Callbacks) { m.cb = cb }
+
+// Store returns the volatile memory manager.
+func (m *Manager) Store() *mm.Store { return m.store }
+
+// Hardware returns the crash-surviving hardware bundle.
+func (m *Manager) Hardware() *Hardware { return m.hw }
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the recovery-component counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		RecordsSorted:      m.stats.recordsSorted.Load(),
+		RecordsAccumulated: m.stats.recordsAccumulated.Load(),
+		BytesSorted:        m.stats.bytesSorted.Load(),
+		PagesFlushed:       m.stats.pagesFlushed.Load(),
+		CkptByUpdateCount:  m.stats.ckptByUpdateCount.Load(),
+		CkptByAge:          m.stats.ckptByAge.Load(),
+		CkptCompleted:      m.stats.ckptCompleted.Load(),
+		CkptFailed:         m.stats.ckptFailed.Load(),
+		CkptAbandoned:      m.stats.ckptAbandoned.Load(),
+		PagesArchived:      m.stats.pagesArchived.Load(),
+		WindowOverruns:     m.stats.windowOverruns.Load(),
+		PartsRecovered:     m.stats.partsRecovered.Load(),
+		RecoveryLogPages:   m.stats.recoveryLogPages.Load(),
+		TxnsCommitted:      m.stats.txnsCommitted.Load(),
+		TxnsAborted:        m.stats.txnsAborted.Load(),
+	}
+}
+
+// Start launches the recovery CPU and the main-CPU checkpointer.
+func (m *Manager) Start() {
+	m.wg.Add(2)
+	go m.recoveryCPU()
+	go m.checkpointer()
+}
+
+// Stop halts both loops and waits for them; stable state is left
+// exactly as is (this is also the crash path — the simulated crash
+// keeps stable memory and disks and discards everything else).
+func (m *Manager) Stop() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	m.wg.Wait()
+}
+
+// PartitionFreed tells the recovery CPU a partition was dropped: its
+// bin and any queued checkpoint are discarded.
+func (m *Manager) PartitionFreed(pid addr.PartitionID) {
+	select {
+	case m.freedCh <- pid:
+	case <-m.stop:
+	}
+}
+
+// ---------------------------------------------------------------------
+// The recovery CPU (§2.3.3, §2.3.4): sort committed records into bins,
+// flush full bin pages to the log disk, trigger checkpoints, advance
+// the log window, roll old pages to the archive tape.
+// ---------------------------------------------------------------------
+
+func (m *Manager) recoveryCPU() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.slb.commitCh:
+			// Bounded batch so checkpoint finish/drain messages are
+			// not starved under a commit flood; re-nudge if chains
+			// remain.
+			if m.drainSome(64) {
+				nudge(m.slb.commitCh)
+			}
+		case msg := <-m.drainCh:
+			m.drainCommitted()
+			msg.reply <- m.fence(msg.pid)
+		case msg := <-m.finishCh:
+			msg.reply <- m.finishCheckpoint(msg.pid, msg.track)
+		case pid := <-m.freedCh:
+			m.slt.dropBin(pid)
+		}
+	}
+}
+
+// drainCommitted sorts every committed chain currently in the SLB.
+func (m *Manager) drainCommitted() {
+	for m.drainSome(1 << 30) {
+	}
+}
+
+// drainSome sorts up to n committed chains, reporting whether more
+// remain.
+func (m *Manager) drainSome(n int) bool {
+	for i := 0; i < n; i++ {
+		c := m.slb.popCommitted()
+		if c == nil {
+			return false
+		}
+		if err := m.sortChain(c); err != nil {
+			// Stable memory exhaustion is the only expected cause;
+			// pushing the chain back and stalling would deadlock the
+			// simulation, so surface loudly.
+			panic(fmt.Sprintf("core: sortChain: %v", err))
+		}
+		c.sorted = true
+		c.free()
+	}
+	return true
+}
+
+// sortChain relocates one committed transaction's records from the SLB
+// into partition bins in the SLT, in record order, optionally change-
+// accumulating them first (§1.2).
+func (m *Manager) sortChain(c *txnChain) error {
+	cost := m.cfg.Cost
+	var pending []*wal.Record
+	for _, blk := range c.blocks {
+		recs, err := wal.DecodeAll(blk.Bytes())
+		if err != nil {
+			return err
+		}
+		for i := range recs {
+			pending = append(pending, &recs[i])
+		}
+	}
+	if m.cfg.ChangeAccumulation && len(pending) > 1 {
+		flat := make([]wal.Record, len(pending))
+		for i, r := range pending {
+			flat[i] = *r
+		}
+		acc, dropped := accumulate(flat)
+		if dropped > 0 {
+			m.stats.recordsAccumulated.Add(int64(dropped))
+			// Accumulation work: roughly one lookup + copy per input
+			// record.
+			m.hw.Meter.ChargeRecovery(int64(float64(len(flat)) * (cost.IRecordLookup/2 + cost.ICopyFixed)))
+			pending = acc
+		}
+	}
+	for _, r := range pending {
+		if err := m.sortRecord(r); err != nil {
+			return err
+		}
+		sz := int64(r.EncodedSize())
+		m.stats.recordsSorted.Add(1)
+		m.stats.bytesSorted.Add(sz)
+		// I_record_sort: lookup + page check + copy startup +
+		// per-byte copy + page info update.
+		m.hw.Meter.ChargeRecovery(int64(cost.IRecordLookup + cost.IPageCheck +
+			cost.ICopyFixed + cost.ICopyAdd*float64(sz) + cost.IPageUpdate))
+	}
+	return nil
+}
+
+// sortRecord places one record into its partition bin, flushing the
+// bin's page if full and triggering an update-count checkpoint at the
+// threshold.
+func (m *Manager) sortRecord(r *wal.Record) error {
+	s := m.slt
+	s.st.mu.Lock()
+	b, err := s.binForLocked(r.PID)
+	if err != nil {
+		s.st.mu.Unlock()
+		return err
+	}
+	r.Bin = b.index
+	enc := r.Encode(nil)
+	if b.cur == nil {
+		sz := m.cfg.LogPageSize
+		if len(enc) > sz {
+			sz = len(enc)
+		}
+		blk, err := m.hw.Stable.NewBlock(sz)
+		if err != nil {
+			s.st.mu.Unlock()
+			return err
+		}
+		b.cur = blk
+	}
+	if b.cur.Remaining() < len(enc) {
+		if err := m.flushBinPageLocked(b); err != nil {
+			s.st.mu.Unlock()
+			return err
+		}
+	}
+	if b.cur.Remaining() < len(enc) {
+		// Oversized record: replace the page buffer with one sized to
+		// fit (it flushes as an oversized log page).
+		b.cur.Free()
+		blk, err := m.hw.Stable.NewBlock(len(enc))
+		if err != nil {
+			s.st.mu.Unlock()
+			return err
+		}
+		b.cur = blk
+	}
+	if !b.cur.Append(enc) {
+		s.st.mu.Unlock()
+		return fmt.Errorf("core: log page append failed for %d-byte record", len(enc))
+	}
+	b.curCount++
+	b.updateCount++
+	trigger := b.updateCount >= m.cfg.UpdateThreshold && !b.ckptPending
+	if trigger {
+		b.ckptPending = true
+	}
+	pid := b.pid
+	s.st.mu.Unlock()
+	if trigger {
+		m.stats.ckptByUpdateCount.Add(1)
+		m.hw.Meter.ChargeRecovery(int64(m.cfg.Cost.ICheckpoint))
+		m.slb.enqueueCkpt(pid, trigUpdateCount)
+	}
+	return nil
+}
+
+// flushBinPageLocked writes the bin's current page to the log disk and
+// resets the buffer; the SLT mutex must be held. Pages for a given
+// partition are chained, and when the N-entry directory fills its
+// contents are embedded in the page being written (§2.3.3).
+func (m *Manager) flushBinPageLocked(b *bin) error {
+	if b.cur == nil || b.cur.Len() == 0 {
+		return nil
+	}
+	pg := &wal.Page{PID: b.pid, Prev: b.prevLSN, Records: b.cur.Bytes()}
+	embed := len(b.dir) >= m.cfg.DirSize
+	if embed {
+		pg.Dir = append([]simdisk.LSN(nil), b.dir...)
+		pg.DirPrev = b.dirPrev
+	}
+	lsn, err := m.hw.Log.Append(pg.Encode())
+	if err != nil {
+		return err
+	}
+	wasFirst := len(b.pages) == 0
+	b.pages = append(b.pages, lsn)
+	b.prevLSN = lsn
+	if embed {
+		b.dirPrev = lsn
+		b.dir = append(b.dir[:0], lsn)
+	} else {
+		b.dir = append(b.dir, lsn)
+	}
+	b.cur.Reset()
+	b.curCount = 0
+	if wasFirst {
+		heap.Push(m.slt.firstList, lsnEntry{lsn: lsn, pid: b.pid})
+	}
+	m.stats.pagesFlushed.Add(1)
+	c := m.cfg.Cost
+	m.hw.Meter.ChargeRecovery(int64(c.IWriteInit + c.IPageAlloc + c.IProcessLSN))
+	m.advanceWindowLocked()
+	return nil
+}
+
+// advanceWindowLocked checks the First LSN list against the log window
+// after a page write, triggering age checkpoints for partitions whose
+// oldest log page is about to fall off the window, and rolls safely
+// obsolete pages to the archive tape. SLT mutex held.
+func (m *Manager) advanceWindowLocked() {
+	head := m.hw.Log.NextLSN() - 1
+	tail := head - simdisk.LSN(m.cfg.LogWindowPages) + 1
+	if tail < 1 {
+		return
+	}
+	// Age triggers: the First LSN list is ordered, so the check walks
+	// from the head only as far as entries inside the grace region
+	// (§2.3.3: the head holds the oldest partition). Stale lazy-heap
+	// entries are refreshed against the live bin; triggered entries
+	// stay on the list until their checkpoint completes.
+	ageLimit := tail + simdisk.LSN(m.cfg.GracePages)
+	var keep []lsnEntry
+	for m.slt.firstList.Len() > 0 {
+		e := heap.Pop(m.slt.firstList).(lsnEntry)
+		b := m.slt.st.bins[e.pid]
+		if b == nil || b.firstLSN() != e.lsn {
+			if b != nil && b.firstLSN() != simdisk.NilLSN {
+				keep = append(keep, lsnEntry{lsn: b.firstLSN(), pid: b.pid})
+			}
+			continue
+		}
+		keep = append(keep, e)
+		if e.lsn > ageLimit {
+			break // rest of the list is younger
+		}
+		if !b.ckptPending {
+			b.ckptPending = true
+			m.stats.ckptByAge.Add(1)
+			m.hw.Meter.ChargeRecovery(int64(m.cfg.Cost.ICheckpoint))
+			m.slb.enqueueCkpt(b.pid, trigAge)
+		}
+	}
+	for _, e := range keep {
+		heap.Push(m.slt.firstList, e)
+	}
+	m.archiveLocked(tail)
+}
+
+// archiveLocked rolls log pages onto the tape and drops them from the
+// log disks, but never pages still needed for memory recovery: the
+// floor is the minimum first LSN over all bins (safety over window
+// discipline; overruns are counted).
+func (m *Manager) archiveLocked(tail simdisk.LSN) {
+	floor := simdisk.LSN(0)
+	for _, b := range m.slt.st.bins {
+		if f := b.firstLSN(); f != simdisk.NilLSN && (floor == 0 || f < floor) {
+			floor = f
+		}
+	}
+	limit := tail
+	if floor != 0 && floor-1 < limit {
+		m.stats.windowOverruns.Add(1)
+		limit = floor - 1
+	}
+	for lsn := m.slt.st.lastArchived + 1; lsn <= limit; lsn++ {
+		page, err := m.hw.Log.Read(lsn)
+		if err != nil {
+			// Already dropped or never written; skip.
+			continue
+		}
+		m.hw.Tape.Append(append([]byte{simdisk.TapeKindLogPage}, page...))
+		m.stats.pagesArchived.Add(1)
+	}
+	if limit > m.slt.st.lastArchived {
+		m.hw.Log.Drop(limit)
+		m.slt.st.lastArchived = limit
+	}
+}
+
+// fence snapshots the pre-checkpoint prefix of the partition's bin: the
+// current partial page is flushed to the log disk so the fence lies on
+// a page boundary, then the page count and update count are recorded.
+// Runs on the recovery CPU after a drain barrier.
+func (m *Manager) fence(pid addr.PartitionID) error {
+	s := m.slt
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	b, err := s.binForLocked(pid)
+	if err != nil {
+		return err
+	}
+	if b.cur != nil && b.cur.Len() > 0 {
+		if err := m.flushBinPageLocked(b); err != nil {
+			return err
+		}
+	}
+	b.fenceActive = true
+	b.fencePages = len(b.pages)
+	b.fenceUpdates = b.updateCount
+	return nil
+}
+
+// clearFence abandons a fence after a failed checkpoint attempt.
+func (m *Manager) clearFence(pid addr.PartitionID) {
+	s := m.slt
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	if b, ok := s.st.bins[pid]; ok {
+		b.fenceActive = false
+		b.fencePages = 0
+		b.fenceUpdates = 0
+		b.ckptPending = false
+	}
+}
+
+// finishCheckpoint drops the fenced prefix from the memory-recovery
+// set: the new checkpoint image supersedes those log records, though
+// they remain on the log disk for the archive (§2.4 step 7). Runs on
+// the recovery CPU.
+func (m *Manager) finishCheckpoint(pid addr.PartitionID, track simdisk.TrackLoc) error {
+	s := m.slt
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	b, ok := s.st.bins[pid]
+	if !ok {
+		return fmt.Errorf("core: finishCheckpoint: no bin for %v", pid)
+	}
+	if !b.fenceActive {
+		return fmt.Errorf("core: finishCheckpoint: no fence on %v", pid)
+	}
+	b.pages = append([]simdisk.LSN(nil), b.pages[b.fencePages:]...)
+	b.updateCount -= b.fenceUpdates
+	b.fenceActive = false
+	b.fencePages = 0
+	b.fenceUpdates = 0
+	b.ckptPending = false
+	// Rebuild chain/directory state for the surviving suffix. The
+	// on-disk chain still crosses the checkpoint (harmless: recovery
+	// uses the SLT page list; the archive uses the full chain).
+	if len(b.pages) == 0 {
+		b.dir = nil
+		b.dirPrev = simdisk.NilLSN
+		b.prevLSN = simdisk.NilLSN
+		if b.cur != nil && b.cur.Len() == 0 {
+			// Partition goes inactive: release the large page buffer,
+			// keeping only the permanent information block.
+			b.cur.Free()
+			b.cur = nil
+			b.curCount = 0
+		}
+	}
+	// Refresh the First LSN list entry.
+	if f := b.firstLSN(); f != simdisk.NilLSN {
+		heap.Push(m.slt.firstList, lsnEntry{lsn: f, pid: b.pid})
+	}
+	m.stats.ckptCompleted.Add(1)
+	// The surviving suffix may already exceed the threshold (records
+	// kept arriving between fence and finish); re-trigger immediately
+	// rather than waiting for the next record.
+	if b.updateCount >= m.cfg.UpdateThreshold {
+		b.ckptPending = true
+		m.stats.ckptByUpdateCount.Add(1)
+		m.hw.Meter.ChargeRecovery(int64(m.cfg.Cost.ICheckpoint))
+		m.slb.enqueueCkpt(b.pid, trigUpdateCount)
+	}
+	// Dropping the fenced prefix may have raised the archive floor:
+	// roll newly safe pages to tape now rather than waiting for the
+	// next page flush.
+	if head := m.hw.Log.NextLSN() - 1; head >= simdisk.LSN(m.cfg.LogWindowPages) {
+		m.archiveLocked(head - simdisk.LSN(m.cfg.LogWindowPages) + 1)
+	}
+	return nil
+}
+
+// drainAndFence is the main-CPU side of the drain barrier.
+func (m *Manager) drainAndFence(pid addr.PartitionID) error {
+	msg := drainMsg{pid: pid, reply: make(chan error, 1)}
+	select {
+	case m.drainCh <- msg:
+		return <-msg.reply
+	case <-m.stop:
+		return fmt.Errorf("core: recovery CPU stopped")
+	}
+}
+
+// notifyFinished is the main-CPU side of checkpoint completion.
+func (m *Manager) notifyFinished(pid addr.PartitionID, track simdisk.TrackLoc) error {
+	msg := finishMsg{pid: pid, track: track, reply: make(chan error, 1)}
+	select {
+	case m.finishCh <- msg:
+		return <-msg.reply
+	case <-m.stop:
+		return fmt.Errorf("core: recovery CPU stopped")
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/catalog"
+	"mmdb/internal/mm"
+	"mmdb/internal/simdisk"
+	"mmdb/internal/wal"
+)
+
+// Restart performs the stable-state half of post-crash recovery (§2.5):
+//
+//  1. discard uncommitted SLB chains (their transactions died with the
+//     volatile memory) and reset crashed in-progress checkpoint
+//     requests;
+//  2. synchronously re-sort committed-but-unsorted chains into
+//     partition bins, completing the Stable Log Tail;
+//  3. restore the catalog partitions from the well-known root.
+//
+// After Restart the facade decodes the catalogs, installs the Locate
+// callback, and calls Resume to enable on-demand recovery and the
+// background sweep; regular transaction processing can begin as soon as
+// the catalogs are restored.
+func (m *Manager) Restart() (*catalog.Root, error) {
+	m.DrainStableOnly()
+	root := m.slt.rootCopy()
+	// Restore the catalogs first (§2.5): their partition addresses
+	// and checkpoint locations come from the well-known root.
+	m.store.EnsureSegment(addr.SegRelationCatalog)
+	m.store.EnsureSegment(addr.SegIndexCatalog)
+	for _, ps := range root.RelCatParts {
+		pid := addr.PartitionID{Segment: addr.SegRelationCatalog, Part: ps.Part}
+		p, err := m.RecoverPartition(pid, ps.Track)
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring relation catalog %v: %w", pid, err)
+		}
+		m.store.Install(p)
+	}
+	for _, ps := range root.IdxCatParts {
+		pid := addr.PartitionID{Segment: addr.SegIndexCatalog, Part: ps.Part}
+		p, err := m.RecoverPartition(pid, ps.Track)
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring index catalog %v: %w", pid, err)
+		}
+		m.store.Install(p)
+	}
+	// Rebuild the checkpoint-disk allocation map's root-known part;
+	// the facade marks catalog-derived tracks after decoding.
+	for _, ps := range root.RelCatParts {
+		m.dmap.markUsed(ps.Track)
+	}
+	for _, ps := range root.IdxCatParts {
+		m.dmap.markUsed(ps.Track)
+	}
+	return root, nil
+}
+
+// DrainStableOnly performs the stable-log half of restart without
+// touching the checkpoint disks: uncommitted SLB chains are discarded,
+// crashed in-progress checkpoint requests reset, mid-flight fences
+// cleared, and committed-but-unsorted chains sorted into the bins. Used
+// by Restart and by media-failure recovery (which cannot read the
+// checkpoint disks).
+func (m *Manager) DrainStableOnly() {
+	m.slb.discardUncommitted()
+	m.slb.resetInProgress()
+	m.slt.st.mu.Lock()
+	for _, b := range m.slt.st.bins {
+		b.fenceActive = false
+		b.fencePages = 0
+		b.fenceUpdates = 0
+	}
+	m.slt.st.mu.Unlock()
+	// Duplicates from partially sorted chains are absorbed by lenient
+	// replay.
+	m.drainCommitted()
+}
+
+// ResetStableState frees every stable log structure on hw (releasing
+// its stable-memory reservations) and installs fresh ones seeded with
+// the given root. Media-failure recovery uses it after rebuilding the
+// database from the archive: the old bins' log records have been
+// replayed into the rebuilt store, so the stable log starts over.
+func ResetStableState(hw *Hardware, root *catalog.Root) {
+	if st, _ := hw.Stable.Root(slbRootKey).(*slbState); st != nil {
+		st.mu.Lock()
+		for _, c := range st.uncommitted {
+			c.free()
+		}
+		for _, c := range st.committed {
+			c.free()
+		}
+		st.mu.Unlock()
+	}
+	if st, _ := hw.Stable.Root(sltRootKey).(*sltState); st != nil {
+		st.mu.Lock()
+		for _, b := range st.bins {
+			if b.cur != nil {
+				b.cur.Free()
+			}
+			hw.Stable.Release(binInfoBytes)
+		}
+		st.mu.Unlock()
+	}
+	fresh := newSLTState()
+	if root != nil {
+		fresh.root = root.Clone()
+	}
+	hw.Stable.SetRoot(slbRootKey, newSLBState())
+	hw.Stable.SetRoot(sltRootKey, fresh)
+}
+
+// EnsureRootCounters raises the stable allocation counters to at least
+// the given values (rebuild paths that derive them from the catalogs).
+func (m *Manager) EnsureRootCounters(nextRel, nextIdx uint64, nextSeg uint32) {
+	m.slt.updateRoot(func(r *catalog.Root) {
+		if r.NextRelID < nextRel {
+			r.NextRelID = nextRel
+		}
+		if r.NextIdxID < nextIdx {
+			r.NextIdxID = nextIdx
+		}
+		if r.NextSeg < nextSeg {
+			r.NextSeg = nextSeg
+		}
+	})
+}
+
+// MarkTrackUsed records a live checkpoint image during the facade's
+// catalog scan on restart.
+func (m *Manager) MarkTrackUsed(t simdisk.TrackLoc) { m.dmap.markUsed(t) }
+
+// Resume installs on-demand recovery (§2.5 method 2: transactions that
+// reference an unrecovered partition generate a restore process for it)
+// and, if configured, the background sweep that restores the remaining
+// partitions at low priority between regular transactions.
+func (m *Manager) Resume() {
+	m.store.SetResolve(func(pid addr.PartitionID) (*mm.Partition, error) {
+		track := simdisk.NilTrack
+		if m.cb.Locate != nil {
+			t, err := m.cb.Locate(pid)
+			if err != nil {
+				return nil, err
+			}
+			track = t
+		}
+		return m.RecoverPartition(pid, track)
+	})
+	if m.cfg.BackgroundRecovery {
+		m.wg.Add(1)
+		go m.backgroundSweep()
+	}
+}
+
+// backgroundSweep issues recovery transactions, at low priority, for
+// partitions that have not been requested by regular transactions
+// (§2.5: "between regular transactions, a system transaction passes
+// through the catalogs and issues recovery transactions ... for
+// partitions that have not yet been recovered").
+func (m *Manager) backgroundSweep() {
+	defer m.wg.Done()
+	if m.cb.AllPartitions == nil {
+		return
+	}
+	pids, err := m.cb.AllPartitions()
+	if err != nil {
+		return
+	}
+	for _, pid := range pids {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		if m.store.Resident(pid) {
+			continue
+		}
+		// Demand through the store so concurrent foreground demand
+		// coalesces into a single recovery transaction.
+		_, _ = m.store.Partition(pid)
+	}
+}
+
+// RecoverPartition runs one recovery transaction (§2.5): read the
+// partition's checkpoint image from the checkpoint disk, read its log
+// pages (scheduled in originally-written order via the page list /
+// directory), apply the records, then apply the records still in the
+// partition's bin in the Stable Log Tail.
+func (m *Manager) RecoverPartition(pid addr.PartitionID, track simdisk.TrackLoc) (*mm.Partition, error) {
+	var p *mm.Partition
+	if track != simdisk.NilTrack {
+		img, err := m.hw.Ckpt.ReadTrack(track)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading checkpoint image of %v: %w", pid, err)
+		}
+		p = mm.FromImage(pid, img)
+	} else {
+		p = mm.NewPartition(pid, m.cfg.PartitionSize)
+	}
+
+	// Snapshot the bin's page list and current buffer under the SLT
+	// mutex. No new records for this partition can arrive while it is
+	// non-resident (transactions cannot touch it before recovery),
+	// so the snapshot is complete.
+	m.slt.st.mu.Lock()
+	var pages []simdisk.LSN
+	var curRecs []byte
+	if b, ok := m.slt.st.bins[pid]; ok {
+		pages = append(pages, b.pages...)
+		if b.cur != nil {
+			curRecs = append(curRecs, b.cur.Bytes()...)
+		}
+	}
+	m.slt.st.mu.Unlock()
+
+	for _, lsn := range pages {
+		raw, err := m.hw.Log.Read(lsn)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading log page %d of %v: %w", lsn, pid, err)
+		}
+		pg, err := wal.DecodePage(raw)
+		if err != nil {
+			return nil, err
+		}
+		if err := pg.CheckPID(pid); err != nil {
+			return nil, err
+		}
+		if _, err := applyRecords(p, pg.Records); err != nil {
+			return nil, err
+		}
+		m.stats.recoveryLogPages.Add(1)
+	}
+	if len(curRecs) > 0 {
+		if _, err := applyRecords(p, curRecs); err != nil {
+			return nil, err
+		}
+	}
+	m.stats.partsRecovered.Add(1)
+	return p, nil
+}

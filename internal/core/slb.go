@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/stablemem"
+	"mmdb/internal/wal"
+)
+
+// slbRootKey names the Stable Log Buffer in the stable memory root.
+const slbRootKey = "mmdb-slb"
+
+// ckptState is the status flag of a checkpoint request in the
+// communication buffer (§2.4): request -> in-progress -> finished.
+type ckptState uint8
+
+const (
+	ckptRequest ckptState = iota + 1
+	ckptInProgress
+	ckptFinished
+)
+
+// ckptTrigger records why the checkpoint was requested.
+type ckptTrigger uint8
+
+const (
+	trigUpdateCount ckptTrigger = iota + 1
+	trigAge
+)
+
+// ckptReq is one entry of the checkpoint communication buffer in the
+// Stable Log Buffer: the recovery CPU enters a partition address and a
+// status flag; the transaction manager on the main CPU picks it up
+// between transactions (§2.4).
+type ckptReq struct {
+	pid      addr.PartitionID
+	state    ckptState
+	trigger  ckptTrigger
+	attempts int
+}
+
+// txnChain is a transaction's chain of SLB blocks. A block is dedicated
+// to a single transaction for its lifetime, so no critical section
+// protects record writing — only block allocation (§2.3.1).
+type txnChain struct {
+	id     uint64
+	blocks []*stablemem.Block
+	// sorted is set by the recovery CPU once every record of the
+	// chain has been relocated into partition bins; a chain that is
+	// committed but unsorted at crash time is re-sorted on restart.
+	sorted bool
+}
+
+func (c *txnChain) free() {
+	for _, b := range c.blocks {
+		b.Free()
+	}
+	c.blocks = nil
+}
+
+// slbState is the Stable Log Buffer: per-transaction REDO chains on the
+// uncommitted and committed lists, plus the checkpoint communication
+// buffer and (duplicated, per §2.5) the catalog root. It lives in
+// stable memory and survives crashes.
+type slbState struct {
+	mu          sync.Mutex
+	uncommitted map[uint64]*txnChain
+	committed   []*txnChain // commit order
+	ckptQueue   []*ckptReq
+}
+
+func newSLBState() *slbState {
+	return &slbState{uncommitted: make(map[uint64]*txnChain)}
+}
+
+// slb is the volatile handle the running system uses to operate on the
+// stable slbState; it carries the config and notification channels that
+// do not survive a crash.
+type slb struct {
+	st       *slbState
+	mem      *stablemem.Memory
+	blockSz  int
+	commitCh chan struct{} // nudges the sorter
+	ckptCh   chan struct{} // nudges the checkpointer
+}
+
+func newSLB(mem *stablemem.Memory, blockSz int) (*slb, error) {
+	st, _ := mem.Root(slbRootKey).(*slbState)
+	if st == nil {
+		st = newSLBState()
+		mem.SetRoot(slbRootKey, st)
+	}
+	return &slb{
+		st:       st,
+		mem:      mem,
+		blockSz:  blockSz,
+		commitCh: make(chan struct{}, 1),
+		ckptCh:   make(chan struct{}, 1),
+	}, nil
+}
+
+func nudge(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// BeginTxn implements txn.RedoSink.
+func (s *slb) BeginTxn(id uint64) {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	s.st.uncommitted[id] = &txnChain{id: id}
+}
+
+// WriteRecord implements txn.RedoSink: append the record's encoding to
+// the transaction's chain, allocating blocks on demand.
+func (s *slb) WriteRecord(rec *wal.Record) error {
+	enc := rec.Encode(nil)
+	s.st.mu.Lock()
+	c := s.st.uncommitted[rec.Txn]
+	s.st.mu.Unlock()
+	if c == nil {
+		return fmt.Errorf("core: no SLB chain for txn %d", rec.Txn)
+	}
+	if n := len(c.blocks); n == 0 || c.blocks[n-1].Remaining() < len(enc) {
+		// Oversized records (e.g. large index directory nodes) get a
+		// dedicated block; the paper handles long entities with a
+		// separate mechanism, we simply size the block to fit.
+		sz := s.blockSz
+		if len(enc) > sz {
+			sz = len(enc)
+		}
+		b, err := s.mem.NewBlock(sz)
+		if err != nil {
+			return fmt.Errorf("core: stable log buffer: %w", err)
+		}
+		c.blocks = append(c.blocks, b)
+	}
+	if !c.blocks[len(c.blocks)-1].Append(enc) {
+		return fmt.Errorf("core: SLB block append failed unexpectedly")
+	}
+	return nil
+}
+
+// CommitTxn implements txn.RedoSink: the chain moves atomically from
+// the uncommitted to the committed list. The transaction is durable the
+// moment this returns — no log I/O synchronisation (§2.3.1).
+func (s *slb) CommitTxn(id uint64) error {
+	s.st.mu.Lock()
+	c := s.st.uncommitted[id]
+	if c == nil {
+		s.st.mu.Unlock()
+		return fmt.Errorf("core: commit of unknown txn %d", id)
+	}
+	delete(s.st.uncommitted, id)
+	if len(c.blocks) == 0 {
+		// Read-only transaction: nothing to log.
+		s.st.mu.Unlock()
+		return nil
+	}
+	s.st.committed = append(s.st.committed, c)
+	s.st.mu.Unlock()
+	nudge(s.commitCh)
+	return nil
+}
+
+// AbortTxn implements txn.RedoSink: the chain's UNDO counterpart has
+// already rolled memory back; the REDO chain is simply discarded.
+func (s *slb) AbortTxn(id uint64) {
+	s.st.mu.Lock()
+	c := s.st.uncommitted[id]
+	delete(s.st.uncommitted, id)
+	s.st.mu.Unlock()
+	if c != nil {
+		c.free()
+	}
+}
+
+// popCommitted removes and returns the oldest committed, unsorted
+// chain, or nil.
+func (s *slb) popCommitted() *txnChain {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	if len(s.st.committed) == 0 {
+		return nil
+	}
+	c := s.st.committed[0]
+	s.st.committed = s.st.committed[1:]
+	return c
+}
+
+// discardUncommitted drops every uncommitted chain; called on restart,
+// since transactions in flight at the crash are implicitly aborted
+// (their effects existed only in the lost volatile memory).
+func (s *slb) discardUncommitted() {
+	s.st.mu.Lock()
+	chains := make([]*txnChain, 0, len(s.st.uncommitted))
+	for _, c := range s.st.uncommitted {
+		chains = append(chains, c)
+	}
+	s.st.uncommitted = make(map[uint64]*txnChain)
+	s.st.mu.Unlock()
+	for _, c := range chains {
+		c.free()
+	}
+}
+
+// enqueueCkpt adds a checkpoint request to the communication buffer if
+// the partition has none outstanding.
+func (s *slb) enqueueCkpt(pid addr.PartitionID, trig ckptTrigger) {
+	s.st.mu.Lock()
+	for _, r := range s.st.ckptQueue {
+		if r.pid == pid && r.state != ckptFinished {
+			s.st.mu.Unlock()
+			return
+		}
+	}
+	s.st.ckptQueue = append(s.st.ckptQueue, &ckptReq{pid: pid, state: ckptRequest, trigger: trig})
+	s.st.mu.Unlock()
+	nudge(s.ckptCh)
+}
+
+// nextCkptRequest claims the oldest request-state entry, moving it to
+// in-progress, or returns nil.
+func (s *slb) nextCkptRequest() *ckptReq {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	for _, r := range s.st.ckptQueue {
+		if r.state == ckptRequest {
+			r.state = ckptInProgress
+			return r
+		}
+	}
+	return nil
+}
+
+// finishCkpt marks the request finished and prunes completed entries.
+func (s *slb) finishCkpt(req *ckptReq) {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	req.state = ckptFinished
+	q := s.st.ckptQueue[:0]
+	for _, r := range s.st.ckptQueue {
+		if r.state != ckptFinished {
+			q = append(q, r)
+		}
+	}
+	s.st.ckptQueue = q
+}
+
+// requeueCkpt returns a failed in-progress request to the request state
+// so a later pass retries it.
+func (s *slb) requeueCkpt(req *ckptReq) {
+	s.st.mu.Lock()
+	req.state = ckptRequest
+	s.st.mu.Unlock()
+	nudge(s.ckptCh)
+}
+
+// dropCkpt removes a request entirely (e.g. its partition was freed).
+func (s *slb) dropCkpt(req *ckptReq) {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	q := s.st.ckptQueue[:0]
+	for _, r := range s.st.ckptQueue {
+		if r != req {
+			q = append(q, r)
+		}
+	}
+	s.st.ckptQueue = q
+}
+
+// resetInProgress returns crashed in-progress requests to the request
+// state; called on restart (their checkpoint transactions died with the
+// main CPU).
+func (s *slb) resetInProgress() {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	for _, r := range s.st.ckptQueue {
+		if r.state == ckptInProgress {
+			r.state = ckptRequest
+		}
+	}
+}

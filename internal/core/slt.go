@@ -1,0 +1,218 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/catalog"
+	"mmdb/internal/simdisk"
+	"mmdb/internal/stablemem"
+	"mmdb/internal/wal"
+)
+
+// sltRootKey names the Stable Log Tail in the stable memory root.
+const sltRootKey = "mmdb-slt"
+
+// binInfoBytes approximates the paper's per-partition information block
+// footprint ("on the order of 50 bytes") reserved in stable memory.
+const binInfoBytes = 64
+
+// bin is a partition bin in the Stable Log Tail: the information block
+// (partition address, update count, LSN of first log page, log page
+// directory) plus, while the partition is active, the much larger
+// current log page buffer (§2.3.3).
+type bin struct {
+	pid   addr.PartitionID
+	index wal.BinIndex
+
+	// updateCount is the number of log records accumulated since the
+	// partition's last checkpoint; it triggers update-count
+	// checkpoints.
+	updateCount int
+
+	// pages lists the flushed, not-yet-superseded log pages of the
+	// partition in write order: the memory-recovery set. pages[0] is
+	// the "LSN of First Log Page"; it feeds the First LSN list.
+	pages []simdisk.LSN
+
+	// prevLSN chains pages newest-to-oldest (stored in page headers).
+	prevLSN simdisk.LSN
+
+	// dir is the N-entry log page directory; when it fills, its
+	// contents are embedded into the next page written (every Nth
+	// page carries a directory, §2.3.3) and dirPrev points at the
+	// most recent directory-carrying page.
+	dir     []simdisk.LSN
+	dirPrev simdisk.LSN
+
+	// cur is the current log page buffer; nil while the partition is
+	// inactive. curCount counts its records.
+	cur      *stablemem.Block
+	curCount int
+
+	// Checkpoint bookkeeping. fencePages/fenceUpdates snapshot the
+	// pre-checkpoint prefix at the drain barrier; the prefix is
+	// dropped from the memory-recovery set when the checkpoint
+	// finishes (§2.4 step 7).
+	ckptPending  bool
+	fenceActive  bool
+	fencePages   int
+	fenceUpdates int
+}
+
+func (b *bin) firstLSN() simdisk.LSN {
+	if len(b.pages) == 0 {
+		return simdisk.NilLSN
+	}
+	return b.pages[0]
+}
+
+// sltState is the Stable Log Tail: the partition bin table and the
+// second copy of the well-known catalog root (§2.5). It survives
+// crashes in stable memory.
+type sltState struct {
+	mu   sync.Mutex
+	bins map[addr.PartitionID]*bin
+	tbl  []*bin // bin table; index = wal.BinIndex
+	free []wal.BinIndex
+	root *catalog.Root
+	// lastArchived is the highest LSN already rolled to tape.
+	lastArchived simdisk.LSN
+}
+
+func newSLTState() *sltState {
+	return &sltState{bins: make(map[addr.PartitionID]*bin), root: &catalog.Root{NextRelID: catalog.FirstUserRelID, NextSeg: uint32(addr.FirstUserSegment)}}
+}
+
+// slt is the volatile handle over the stable sltState.
+type slt struct {
+	st  *sltState
+	mem *stablemem.Memory
+	// firstList is the First LSN list: an ordered structure over
+	// active partitions' first log pages, checked when the log window
+	// advances (§2.3.3). Volatile: rebuilt from bins on restart.
+	firstList *lsnHeap
+}
+
+func newSLT(mem *stablemem.Memory) *slt {
+	st, _ := mem.Root(sltRootKey).(*sltState)
+	if st == nil {
+		st = newSLTState()
+		mem.SetRoot(sltRootKey, st)
+	}
+	s := &slt{st: st, mem: mem, firstList: &lsnHeap{}}
+	// Rebuild the volatile First LSN list from stable bins.
+	st.mu.Lock()
+	for _, b := range st.bins {
+		if f := b.firstLSN(); f != simdisk.NilLSN {
+			heap.Push(s.firstList, lsnEntry{lsn: f, pid: b.pid})
+		}
+	}
+	st.mu.Unlock()
+	return s
+}
+
+// binFor returns the partition's bin, allocating its permanent
+// information block on first use (the paper assumes each partition has
+// a small permanent entry in the partition bin table).
+func (s *slt) binFor(pid addr.PartitionID) (*bin, error) {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	return s.binForLocked(pid)
+}
+
+func (s *slt) binForLocked(pid addr.PartitionID) (*bin, error) {
+	if b, ok := s.st.bins[pid]; ok {
+		return b, nil
+	}
+	if err := s.mem.Reserve(binInfoBytes); err != nil {
+		return nil, err
+	}
+	b := &bin{pid: pid}
+	if n := len(s.st.free); n > 0 {
+		b.index = s.st.free[n-1]
+		s.st.free = s.st.free[:n-1]
+		s.st.tbl[b.index] = b
+	} else {
+		b.index = wal.BinIndex(len(s.st.tbl))
+		s.st.tbl = append(s.st.tbl, b)
+	}
+	s.st.bins[pid] = b
+	return b, nil
+}
+
+// dropBin removes a freed partition's bin entirely.
+func (s *slt) dropBin(pid addr.PartitionID) {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	b, ok := s.st.bins[pid]
+	if !ok {
+		return
+	}
+	delete(s.st.bins, pid)
+	s.st.tbl[b.index] = nil
+	s.st.free = append(s.st.free, b.index)
+	if b.cur != nil {
+		b.cur.Free()
+	}
+	s.mem.Release(binInfoBytes)
+}
+
+// minFirstLSN returns the smallest first-page LSN over all bins with
+// on-disk pages (the archive-safety floor), or NilLSN if none.
+func (s *slt) minFirstLSN() simdisk.LSN {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	min := simdisk.NilLSN
+	for _, b := range s.st.bins {
+		if f := b.firstLSN(); f != simdisk.NilLSN && (min == simdisk.NilLSN || f < min) {
+			min = f
+		}
+	}
+	return min
+}
+
+// Root accessors: the root is duplicated in the SLT (and SLB region)
+// per §2.5; we keep the authoritative copy here and write it to the log
+// disk periodically.
+func (s *slt) rootCopy() *catalog.Root {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	return s.st.root.Clone()
+}
+
+func (s *slt) setRoot(r *catalog.Root) {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	s.st.root = r.Clone()
+}
+
+func (s *slt) updateRoot(fn func(r *catalog.Root)) *catalog.Root {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	fn(s.st.root)
+	return s.st.root.Clone()
+}
+
+// lsnEntry / lsnHeap implement the First LSN list as a min-heap with
+// lazy invalidation: the head is validated against the bin's current
+// first LSN before use.
+type lsnEntry struct {
+	lsn simdisk.LSN
+	pid addr.PartitionID
+}
+
+type lsnHeap []lsnEntry
+
+func (h lsnHeap) Len() int           { return len(h) }
+func (h lsnHeap) Less(i, j int) bool { return h[i].lsn < h[j].lsn }
+func (h lsnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *lsnHeap) Push(x any)        { *h = append(*h, x.(lsnEntry)) }
+func (h *lsnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,101 @@
+// Package cost provides the simulated-cost accounting shared by every
+// hardware component. The paper's performance analysis (§3) is driven by
+// per-operation instruction counts executed on a 1-MIPS recovery CPU and
+// by disk seek/transfer times; we charge those same costs from the real
+// code paths so that measured rates can be compared against the paper's
+// analytic ones.
+package cost
+
+import "sync/atomic"
+
+// Meter accumulates simulated work. All methods are safe for concurrent
+// use. Counters are monotone; readers take snapshots.
+type Meter struct {
+	mainInstr  atomic.Int64 // instructions executed by the main CPU
+	recovInstr atomic.Int64 // instructions executed by the recovery CPU
+	stableRefs atomic.Int64 // byte references to stable reliable memory
+	logBusy    atomic.Int64 // log-disk busy time, microseconds
+	ckptBusy   atomic.Int64 // checkpoint-disk busy time, microseconds
+}
+
+// ChargeMain adds n simulated instructions to the main CPU.
+func (m *Meter) ChargeMain(n int64) {
+	if m != nil {
+		m.mainInstr.Add(n)
+	}
+}
+
+// ChargeRecovery adds n simulated instructions to the recovery CPU.
+func (m *Meter) ChargeRecovery(n int64) {
+	if m != nil {
+		m.recovInstr.Add(n)
+	}
+}
+
+// ChargeStable adds n stable-memory byte references.
+func (m *Meter) ChargeStable(n int64) {
+	if m != nil {
+		m.stableRefs.Add(n)
+	}
+}
+
+// ChargeLogDisk adds micros of log-disk busy time.
+func (m *Meter) ChargeLogDisk(micros int64) {
+	if m != nil {
+		m.logBusy.Add(micros)
+	}
+}
+
+// ChargeCkptDisk adds micros of checkpoint-disk busy time.
+func (m *Meter) ChargeCkptDisk(micros int64) {
+	if m != nil {
+		m.ckptBusy.Add(micros)
+	}
+}
+
+// Snapshot is a point-in-time copy of the meter.
+type Snapshot struct {
+	MainInstr      int64
+	RecoveryInstr  int64
+	StableRefs     int64
+	LogDiskMicros  int64
+	CkptDiskMicros int64
+}
+
+// Snapshot returns the current counter values.
+func (m *Meter) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		MainInstr:      m.mainInstr.Load(),
+		RecoveryInstr:  m.recovInstr.Load(),
+		StableRefs:     m.stableRefs.Load(),
+		LogDiskMicros:  m.logBusy.Load(),
+		CkptDiskMicros: m.ckptBusy.Load(),
+	}
+}
+
+// Sub returns the component-wise difference s - t, i.e. the work done
+// between snapshot t and snapshot s.
+func (s Snapshot) Sub(t Snapshot) Snapshot {
+	return Snapshot{
+		MainInstr:      s.MainInstr - t.MainInstr,
+		RecoveryInstr:  s.RecoveryInstr - t.RecoveryInstr,
+		StableRefs:     s.StableRefs - t.StableRefs,
+		LogDiskMicros:  s.LogDiskMicros - t.LogDiskMicros,
+		CkptDiskMicros: s.CkptDiskMicros - t.CkptDiskMicros,
+	}
+}
+
+// RecoveryCPUSeconds converts the recovery CPU's instruction count into
+// simulated seconds at the given MIPS rating.
+func (s Snapshot) RecoveryCPUSeconds(mips float64) float64 {
+	return float64(s.RecoveryInstr) / (mips * 1e6)
+}
+
+// MainCPUSeconds converts the main CPU's instruction count into
+// simulated seconds at the given MIPS rating.
+func (s Snapshot) MainCPUSeconds(mips float64) float64 {
+	return float64(s.MainInstr) / (mips * 1e6)
+}

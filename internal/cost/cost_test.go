@@ -1,0 +1,70 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestChargesAndSnapshot(t *testing.T) {
+	m := &Meter{}
+	m.ChargeMain(100)
+	m.ChargeRecovery(200)
+	m.ChargeStable(300)
+	m.ChargeLogDisk(400)
+	m.ChargeCkptDisk(500)
+	s := m.Snapshot()
+	if s.MainInstr != 100 || s.RecoveryInstr != 200 || s.StableRefs != 300 ||
+		s.LogDiskMicros != 400 || s.CkptDiskMicros != 500 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.ChargeMain(1)
+	m.ChargeRecovery(1)
+	m.ChargeStable(1)
+	m.ChargeLogDisk(1)
+	m.ChargeCkptDisk(1)
+	if s := m.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil meter snapshot = %+v", s)
+	}
+}
+
+func TestSubAndConversions(t *testing.T) {
+	m := &Meter{}
+	m.ChargeRecovery(1_000_000)
+	before := m.Snapshot()
+	m.ChargeRecovery(2_000_000)
+	m.ChargeMain(6_000_000)
+	d := m.Snapshot().Sub(before)
+	if d.RecoveryInstr != 2_000_000 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	// 2M instructions at 1 MIPS = 2 seconds.
+	if got := d.RecoveryCPUSeconds(1.0); got != 2.0 {
+		t.Fatalf("RecoveryCPUSeconds = %v", got)
+	}
+	// 6M instructions at 6 MIPS = 1 second.
+	if got := d.MainCPUSeconds(6.0); got != 1.0 {
+		t.Fatalf("MainCPUSeconds = %v", got)
+	}
+}
+
+func TestConcurrentCharging(t *testing.T) {
+	m := &Meter{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.ChargeRecovery(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Snapshot().RecoveryInstr; got != 8000 {
+		t.Fatalf("concurrent total = %d", got)
+	}
+}

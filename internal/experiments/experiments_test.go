@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraph1ShapeAndAgreement(t *testing.T) {
+	series, err := Graph1([]int{8, 24, 64}, []int{4 << 10, 16 << 10}, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		prev := 1e18
+		for _, p := range s.Points {
+			if p.Measured <= 0 || p.Analytic <= 0 {
+				t.Fatalf("%s: non-positive point %+v", s.Label, p)
+			}
+			// Measured capacity from the real code path must agree
+			// with the analytic model within 25% (same instruction
+			// charges, minor bookkeeping differences).
+			ratio := p.Measured / p.Analytic
+			if ratio < 0.75 || ratio > 1.33 {
+				t.Fatalf("%s x=%v: measured/analytic = %.3f", s.Label, p.X, ratio)
+			}
+			if p.Measured >= prev {
+				t.Fatalf("%s: records/s not decreasing in record size", s.Label)
+			}
+			prev = p.Measured
+		}
+	}
+	// Larger pages dominate pointwise.
+	for i := range series[0].Points {
+		if series[1].Points[i].Measured <= series[0].Points[i].Measured {
+			t.Fatalf("16KB pages should beat 4KB at x=%v", series[0].Points[i].X)
+		}
+	}
+}
+
+func TestGraph2DerivedRates(t *testing.T) {
+	series, err := Graph2([]int{24}, []int{1, 4, 20}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("%d series", len(series))
+	}
+	// 1 record/txn supports ~N times the rate of N records/txn.
+	one := series[0].Points[0].Measured
+	four := series[1].Points[0].Measured
+	twenty := series[2].Points[0].Measured
+	if one/four < 3.5 || one/four > 4.5 {
+		t.Fatalf("1-vs-4 ratio %.2f", one/four)
+	}
+	if one/twenty < 18 || one/twenty > 22 {
+		t.Fatalf("1-vs-20 ratio %.2f", one/twenty)
+	}
+	// The paper's headline: ~4000 debit/credit (4-record) txns/sec.
+	if four < 2500 || four > 7000 {
+		t.Fatalf("4-record txn rate %.0f outside the paper's ballpark", four)
+	}
+}
+
+func TestGraph3MixOrdering(t *testing.T) {
+	series, err := Graph3([]float64{5000, 10000}, []float64{0, 1.0}, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Analytic <= 0 {
+				t.Fatalf("%s: bad analytic %+v", s.Label, p)
+			}
+			if p.Measured < 0 {
+				t.Fatalf("%s: negative measured %+v", s.Label, p)
+			}
+		}
+		// Linear in logging rate.
+		if r := s.Points[1].Analytic / s.Points[0].Analytic; r < 1.99 || r > 2.01 {
+			t.Fatalf("%s: not linear (%v)", s.Label, r)
+		}
+	}
+	// All-age checkpoints are costlier than all-update-count.
+	if series[1].Points[0].Analytic <= series[0].Points[0].Analytic {
+		t.Fatal("age mix should have higher checkpoint frequency")
+	}
+	// Measured shape: age mix produces more checkpoints per record.
+	if series[1].Points[0].Measured <= series[0].Points[0].Measured {
+		t.Fatal("measured age mix should exceed update-count mix")
+	}
+}
+
+func TestRecoveryComparisonShape(t *testing.T) {
+	res, err := RecoveryComparison(64, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartLevelFirstUS <= 0 || res.DBLevelFirstUS <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+	// §3.4.1: time-to-first-transaction must be far lower with
+	// partition-level recovery when the hot set is small.
+	if res.SpeedupFirstTxn < 4 {
+		t.Fatalf("speedup = %.2f, want >= 4 (%+v)", res.SpeedupFirstTxn, res)
+	}
+	// Full partition-level recovery is in the same league as the full
+	// reload (same data volume, plus per-partition seeks).
+	if res.PartLevelFullUS < res.DBLevelFirstUS/4 {
+		t.Fatalf("full recovery suspiciously cheap: %+v", res)
+	}
+}
+
+func TestRecoveryComparisonScaling(t *testing.T) {
+	small, err := RecoveryComparison(16, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RecoveryComparison(128, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Database-level first-txn time grows with DB size; partition-
+	// level stays flat (same hot set) => speedup grows.
+	if large.SpeedupFirstTxn <= small.SpeedupFirstTxn {
+		t.Fatalf("speedup did not grow with DB size: %v -> %v",
+			small.SpeedupFirstTxn, large.SpeedupFirstTxn)
+	}
+}
+
+func TestDirectoryAblation(t *testing.T) {
+	series := DirectoryAblation([]int{1, 8, 32})
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	ordered, chained := series[0], series[1]
+	for i := range ordered.Points {
+		if ordered.Points[i].Measured > chained.Points[i].Measured {
+			t.Fatalf("ordered reads slower at %v pages", ordered.Points[i].X)
+		}
+	}
+	// The gap grows with page count.
+	gap0 := chained.Points[0].Measured - ordered.Points[0].Measured
+	gapN := chained.Points[len(chained.Points)-1].Measured - ordered.Points[len(ordered.Points)-1].Measured
+	if gapN <= gap0 {
+		t.Fatal("directory advantage should grow with page count")
+	}
+}
+
+func TestRunHotspot(t *testing.T) {
+	res, err := RunHotspot(4, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerTxnChainNS <= 0 || res.GlobalTailNS <= 0 {
+		t.Fatalf("bad timings %+v", res)
+	}
+}
+
+func TestCommitLatency(t *testing.T) {
+	res := CommitLatency(4, 24, 8)
+	if res.InstantUS <= 0 {
+		t.Fatalf("instant = %v", res.InstantUS)
+	}
+	if res.SyncForceUS <= res.InstantUS {
+		t.Fatal("sync force should dwarf instant commit")
+	}
+	if res.GroupCommitUS >= res.SyncForceUS {
+		t.Fatal("group commit should amortise the force")
+	}
+	if res.SpeedupVsSync < 10 {
+		t.Fatalf("speedup vs sync = %.1f, expected large", res.SpeedupVsSync)
+	}
+}
+
+func TestRunAccumulation(t *testing.T) {
+	res, err := RunAccumulation(50, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecordsSortedOff != res.RecordsIn {
+		t.Fatalf("off path sorted %d of %d", res.RecordsSortedOff, res.RecordsIn)
+	}
+	// 5 updates per entity should shrink ~5x.
+	if res.ReductionFactor < 4 || res.ReductionFactor > 6 {
+		t.Fatalf("reduction = %.2f, want ~5", res.ReductionFactor)
+	}
+	if res.BytesOn >= res.BytesOff {
+		t.Fatal("accumulation did not shrink bytes")
+	}
+}
+
+func TestFormatSeries(t *testing.T) {
+	s := []Series{{Label: "a", Points: []Point{{X: 1, Analytic: 2, Measured: 3}}}}
+	out := FormatSeries("T", "x", "y", s)
+	for _, want := range []string{"T", "x", "analytic", "measured", "1", "2", "3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if out2 := FormatSeries("T", "x", "y", nil); !strings.Contains(out2, "T") {
+		t.Fatal("empty series output")
+	}
+}
+
+func TestPredeclareVsDemand(t *testing.T) {
+	res, err := PredeclareVsDemand(64, 8, 100, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Method 2's first transaction starts orders of magnitude sooner.
+	if res.DemandFirstUS >= res.PredeclareFirstUS/4 {
+		t.Fatalf("on-demand first txn %dus !<< predeclare %dus", res.DemandFirstUS, res.PredeclareFirstUS)
+	}
+	// Most on-demand transactions hit already-recovered hot partitions.
+	if res.DemandP50US != 0 {
+		t.Fatalf("median on-demand latency %dus, want 0 (hot partitions resident)", res.DemandP50US)
+	}
+	// The worst on-demand latency (a cold miss) is far below a full reload.
+	if res.DemandMaxUS >= res.PredeclareFirstUS {
+		t.Fatalf("worst on-demand %dus !< full reload %dus", res.DemandMaxUS, res.PredeclareFirstUS)
+	}
+	// Total recovery I/O over the run is bounded by the full reload
+	// (only touched partitions were restored).
+	if res.DemandTotalUS > res.PredeclareTotalUS {
+		t.Fatalf("on-demand total %dus > predeclare total %dus", res.DemandTotalUS, res.PredeclareTotalUS)
+	}
+}

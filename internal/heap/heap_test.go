@@ -1,0 +1,189 @@
+package heap
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var accountSchema = Schema{
+	{Name: "id", Type: Int64},
+	{Name: "balance", Type: Float64},
+	{Name: "owner", Type: String},
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := accountSchema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Schema{
+		{},
+		{{Name: "", Type: Int64}},
+		{{Name: "a", Type: Int64}, {Name: "a", Type: Int64}},
+		{{Name: "a", Type: ColType(99)}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schema %d accepted", i)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tup := Tuple{int64(42), 99.5, "alice"}
+	enc, err := accountSchema.Encode(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := accountSchema.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tup) {
+		t.Fatalf("round trip: %v vs %v", got, tup)
+	}
+}
+
+func TestEncodeTypeErrors(t *testing.T) {
+	cases := []Tuple{
+		{int64(1), 2.0},                             // too few
+		{int64(1), 2.0, "x", "y"},                   // too many
+		{"not-int", 2.0, "x"},                       // wrong type
+		{int64(1), "not-float", "x"},                // wrong type
+		{int64(1), 2.0, 3},                          // wrong type
+		{int64(1), 2.0, strings.Repeat("x", 70000)}, // oversize string
+	}
+	for i, c := range cases {
+		if _, err := accountSchema.Encode(c); !errors.Is(err, ErrSchemaMismatch) {
+			t.Errorf("case %d: got %v", i, err)
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	tup := Tuple{int64(42), 1.0, "bob"}
+	enc, _ := accountSchema.Encode(tup)
+	for _, cut := range []int{3, 9, 17, len(enc) - 1} {
+		if _, err := accountSchema.Decode(enc[:cut]); !errors.Is(err, ErrCorruptTuple) {
+			t.Errorf("cut at %d: %v", cut, err)
+		}
+	}
+	if _, err := accountSchema.Decode(append(enc, 0)); !errors.Is(err, ErrCorruptTuple) {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestColIndex(t *testing.T) {
+	i, err := accountSchema.ColIndex("balance")
+	if err != nil || i != 1 {
+		t.Fatalf("ColIndex = %d, %v", i, err)
+	}
+	if _, err := accountSchema.ColIndex("ghost"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("missing column: %v", err)
+	}
+}
+
+func TestFixedOffset(t *testing.T) {
+	off, ok := accountSchema.FixedOffset(0)
+	if !ok || off != 0 {
+		t.Fatalf("col 0: %d, %v", off, ok)
+	}
+	off, ok = accountSchema.FixedOffset(1)
+	if !ok || off != 8 {
+		t.Fatalf("col 1: %d, %v", off, ok)
+	}
+	if _, ok := accountSchema.FixedOffset(2); ok {
+		t.Fatal("string column reported fixed")
+	}
+	// A fixed column after a string column is not position-independent.
+	s := Schema{{Name: "s", Type: String}, {Name: "i", Type: Int64}}
+	if _, ok := s.FixedOffset(1); ok {
+		t.Fatal("fixed column after string reported position-independent")
+	}
+	if _, ok := accountSchema.FixedOffset(-1); ok {
+		t.Fatal("negative column")
+	}
+	if _, ok := accountSchema.FixedOffset(99); ok {
+		t.Fatal("out of range column")
+	}
+}
+
+func TestEncodeValueMatchesFullEncoding(t *testing.T) {
+	tup := Tuple{int64(7), 2.5, "carol"}
+	enc, _ := accountSchema.Encode(tup)
+	// Patch balance in place and compare against re-encoding.
+	val, err := accountSchema.EncodeValue(1, 3.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _ := accountSchema.FixedOffset(1)
+	copy(enc[off:], val)
+	got, err := accountSchema.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Tuple{int64(7), 3.75, "carol"}
+	if !got.Equal(want) {
+		t.Fatalf("patched tuple = %v", got)
+	}
+	if _, err := accountSchema.EncodeValue(2, "x"); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("EncodeValue on string column: %v", err)
+	}
+	if _, err := accountSchema.EncodeValue(1, int64(1)); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("EncodeValue type mismatch: %v", err)
+	}
+	if _, err := accountSchema.EncodeValue(9, int64(1)); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("EncodeValue bad column: %v", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(i int64, fbits uint64, s string) bool {
+		fv := math.Float64frombits(fbits)
+		if math.IsNaN(fv) {
+			fv = 0 // NaN != NaN breaks Equal; not a codec concern
+		}
+		if len(s) > math.MaxUint16 {
+			s = s[:math.MaxUint16]
+		}
+		tup := Tuple{i, fv, s}
+		enc, err := accountSchema.Encode(tup)
+		if err != nil {
+			return false
+		}
+		got, err := accountSchema.Decode(enc)
+		return err == nil && got.Equal(tup)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTupleCloneEqual(t *testing.T) {
+	a := Tuple{int64(1), 2.0, "x"}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b[0] = int64(2)
+	if a.Equal(b) {
+		t.Fatal("clone aliases original")
+	}
+	if a.Equal(Tuple{int64(1), 2.0}) {
+		t.Fatal("length mismatch reported equal")
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	if Int64.String() != "int64" || Float64.String() != "float64" || String.String() != "string" {
+		t.Fatal("type names")
+	}
+	if ColType(9).String() != "coltype(9)" {
+		t.Fatal("unknown type name")
+	}
+	if Int64.Fixed() != true || String.Fixed() != false {
+		t.Fatal("Fixed()")
+	}
+}

@@ -1,0 +1,43 @@
+package linhash
+
+import "testing"
+
+func benchTable(b *testing.B, prefill int) *Table {
+	b.Helper()
+	p := newMapPager()
+	tb, _, err := Create(p, 16, hashEntry, matchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < prefill; k++ {
+		if err := tb.Insert(entry(uint64(k), 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tb := benchTable(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tb.Insert(entry(uint64(i), 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tb := benchTable(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i % 10000)
+		found := false
+		if err := tb.Lookup(k, keyHash(k), func(uint64) bool { found = true; return false }); err != nil {
+			b.Fatal(err)
+		}
+		if !found {
+			b.Fatal("miss")
+		}
+	}
+}

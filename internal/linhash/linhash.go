@@ -1,0 +1,550 @@
+// Package linhash implements the Modified Linear Hash index of
+// [Lehman 86c], the hash-based index companion to the T-Tree in the
+// MM-DBMS. Like T-Tree nodes, hash nodes are "index components": fixed
+// fan-out entities living in index-segment partitions, mutated through
+// a logging Pager so every node update produces one REDO log record
+// (§2.3.2).
+//
+// Structure: a directory of bucket chains, grown one bucket at a time by
+// linear hashing's split pointer, so the table expands without global
+// rehashing. The directory is itself partition-resident (a header entity
+// plus fixed-size chunk entities of bucket heads), making the whole
+// index recoverable by REDO replay of its partitions.
+package linhash
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mmdb/internal/addr"
+)
+
+// Pager is the storage interface the index runs against; implementations
+// log REDO records and track undo (see package ttree for the contract).
+type Pager interface {
+	Read(a addr.EntityAddr) ([]byte, error)
+	Insert(data []byte) (addr.EntityAddr, error)
+	Update(a addr.EntityAddr, data []byte) error
+	Delete(a addr.EntityAddr) error
+}
+
+// HashEntry hashes a stored entry's key (typically by reading the
+// indexed tuple).
+type HashEntry func(entry uint64) (uint64, error)
+
+// MatchKey reports whether a stored entry's key equals the search key.
+type MatchKey func(key any, entry uint64) (bool, error)
+
+// ErrNotFound is returned by Delete when the entry is absent.
+var ErrNotFound = errors.New("linhash: entry not found")
+
+const (
+	chunkEntries = 128 // bucket heads per directory chunk
+)
+
+// node is one bucket-chain node.
+type node struct {
+	next    addr.EntityAddr
+	hashes  []uint64
+	entries []uint64
+}
+
+const nodeHeaderSize = 8 + 2
+
+func marshalNode(n *node, order int) []byte {
+	buf := make([]byte, nodeHeaderSize+16*order)
+	binary.LittleEndian.PutUint64(buf[0:], n.next.Pack())
+	binary.LittleEndian.PutUint16(buf[8:], uint16(len(n.entries)))
+	for i := range n.entries {
+		binary.LittleEndian.PutUint64(buf[nodeHeaderSize+16*i:], n.hashes[i])
+		binary.LittleEndian.PutUint64(buf[nodeHeaderSize+16*i+8:], n.entries[i])
+	}
+	return buf
+}
+
+func unmarshalNode(buf []byte) (*node, error) {
+	if len(buf) < nodeHeaderSize {
+		return nil, fmt.Errorf("linhash: corrupt node (%d bytes)", len(buf))
+	}
+	n := &node{next: addr.Unpack(binary.LittleEndian.Uint64(buf[0:]))}
+	count := int(binary.LittleEndian.Uint16(buf[8:]))
+	if len(buf) < nodeHeaderSize+16*count {
+		return nil, fmt.Errorf("linhash: corrupt node entries")
+	}
+	n.hashes = make([]uint64, count)
+	n.entries = make([]uint64, count)
+	for i := 0; i < count; i++ {
+		n.hashes[i] = binary.LittleEndian.Uint64(buf[nodeHeaderSize+16*i:])
+		n.entries[i] = binary.LittleEndian.Uint64(buf[nodeHeaderSize+16*i+8:])
+	}
+	return n, nil
+}
+
+// header layout: level(4) next(4) count(8) order(2) nbuckets(4)
+// nchunks(4) chunk addrs (8 each).
+const hdrFixed = 4 + 4 + 8 + 2 + 4 + 4
+
+type header struct {
+	level    uint32
+	next     uint32
+	count    uint64
+	order    int
+	nbuckets uint32
+	chunks   []addr.EntityAddr
+}
+
+func marshalHeader(h *header) []byte {
+	buf := make([]byte, hdrFixed+8*len(h.chunks))
+	binary.LittleEndian.PutUint32(buf[0:], h.level)
+	binary.LittleEndian.PutUint32(buf[4:], h.next)
+	binary.LittleEndian.PutUint64(buf[8:], h.count)
+	binary.LittleEndian.PutUint16(buf[16:], uint16(h.order))
+	binary.LittleEndian.PutUint32(buf[18:], h.nbuckets)
+	binary.LittleEndian.PutUint32(buf[22:], uint32(len(h.chunks)))
+	for i, c := range h.chunks {
+		binary.LittleEndian.PutUint64(buf[hdrFixed+8*i:], c.Pack())
+	}
+	return buf
+}
+
+func unmarshalHeader(buf []byte) (*header, error) {
+	if len(buf) < hdrFixed {
+		return nil, fmt.Errorf("linhash: corrupt header")
+	}
+	h := &header{
+		level:    binary.LittleEndian.Uint32(buf[0:]),
+		next:     binary.LittleEndian.Uint32(buf[4:]),
+		count:    binary.LittleEndian.Uint64(buf[8:]),
+		order:    int(binary.LittleEndian.Uint16(buf[16:])),
+		nbuckets: binary.LittleEndian.Uint32(buf[18:]),
+	}
+	nchunks := int(binary.LittleEndian.Uint32(buf[22:]))
+	if len(buf) < hdrFixed+8*nchunks {
+		return nil, fmt.Errorf("linhash: corrupt header chunks")
+	}
+	for i := 0; i < nchunks; i++ {
+		h.chunks = append(h.chunks, addr.Unpack(binary.LittleEndian.Uint64(buf[hdrFixed+8*i:])))
+	}
+	return h, nil
+}
+
+// Table is a Modified Linear Hash index. Mutations must be serialised
+// by the caller (index writer lock); reads may run under the latch.
+type Table struct {
+	pager Pager
+	hdrA  addr.EntityAddr
+	hash  HashEntry
+	match MatchKey
+}
+
+// Create initialises an empty table with the given node fan-out and
+// returns it along with its header address.
+func Create(p Pager, order int, hash HashEntry, match MatchKey) (*Table, addr.EntityAddr, error) {
+	if order < 2 {
+		return nil, addr.Nil, errors.New("linhash: order must be >= 2")
+	}
+	// Two initial buckets (level 1), both empty, in one chunk.
+	chunk := make([]byte, 8*chunkEntries)
+	for i := 0; i < chunkEntries; i++ {
+		binary.LittleEndian.PutUint64(chunk[8*i:], addr.Nil.Pack())
+	}
+	ca, err := p.Insert(chunk)
+	if err != nil {
+		return nil, addr.Nil, err
+	}
+	h := &header{level: 1, next: 0, order: order, nbuckets: 2, chunks: []addr.EntityAddr{ca}}
+	ha, err := p.Insert(marshalHeader(h))
+	if err != nil {
+		return nil, addr.Nil, err
+	}
+	return &Table{pager: p, hdrA: ha, hash: hash, match: match}, ha, nil
+}
+
+// Open attaches to an existing table via its header address.
+func Open(p Pager, hdr addr.EntityAddr, hash HashEntry, match MatchKey) (*Table, error) {
+	buf, err := p.Read(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := unmarshalHeader(buf); err != nil {
+		return nil, err
+	}
+	return &Table{pager: p, hdrA: hdr, hash: hash, match: match}, nil
+}
+
+// Header returns the table's header entity address.
+func (t *Table) Header() addr.EntityAddr { return t.hdrA }
+
+func (t *Table) readHeader() (*header, error) {
+	buf, err := t.pager.Read(t.hdrA)
+	if err != nil {
+		return nil, err
+	}
+	return unmarshalHeader(buf)
+}
+
+func (t *Table) writeHeader(h *header) error {
+	return t.pager.Update(t.hdrA, marshalHeader(h))
+}
+
+// bucketIndex maps a hash to its current bucket per linear hashing.
+func (h *header) bucketIndex(hv uint64) uint32 {
+	b := uint32(hv) & ((1 << h.level) - 1)
+	if b < h.next {
+		b = uint32(hv) & ((1 << (h.level + 1)) - 1)
+	}
+	return b
+}
+
+// bucketHead reads the directory entry for bucket b.
+func (t *Table) bucketHead(h *header, b uint32) (addr.EntityAddr, error) {
+	ci, off := int(b)/chunkEntries, int(b)%chunkEntries
+	if ci >= len(h.chunks) {
+		return addr.Nil, fmt.Errorf("linhash: bucket %d beyond directory", b)
+	}
+	buf, err := t.pager.Read(h.chunks[ci])
+	if err != nil {
+		return addr.Nil, err
+	}
+	return addr.Unpack(binary.LittleEndian.Uint64(buf[8*off:])), nil
+}
+
+// setBucketHead updates the directory entry for bucket b.
+func (t *Table) setBucketHead(h *header, b uint32, a addr.EntityAddr) error {
+	ci, off := int(b)/chunkEntries, int(b)%chunkEntries
+	buf, err := t.pager.Read(h.chunks[ci])
+	if err != nil {
+		return err
+	}
+	nb := append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint64(nb[8*off:], a.Pack())
+	return t.pager.Update(h.chunks[ci], nb)
+}
+
+// Insert adds entry e to the table and splits one bucket if the load
+// factor exceeds 3/4 of nominal node capacity.
+func (t *Table) Insert(e uint64) error {
+	h, err := t.readHeader()
+	if err != nil {
+		return err
+	}
+	hv, err := t.hash(e)
+	if err != nil {
+		return err
+	}
+	b := h.bucketIndex(hv)
+	if err := t.insertInto(h, b, hv, e); err != nil {
+		return err
+	}
+	h.count++
+	// Load factor check: average entries per bucket vs node capacity.
+	if h.count*4 > uint64(h.nbuckets)*uint64(h.order)*3 {
+		if err := t.split(h); err != nil {
+			return err
+		}
+	}
+	return t.writeHeader(h)
+}
+
+// insertInto places (hv, e) into bucket b: first chain node with room,
+// else a new node at the chain head.
+func (t *Table) insertInto(h *header, b uint32, hv, e uint64) error {
+	head, err := t.bucketHead(h, b)
+	if err != nil {
+		return err
+	}
+	for a := head; !a.IsNil(); {
+		buf, err := t.pager.Read(a)
+		if err != nil {
+			return err
+		}
+		n, err := unmarshalNode(buf)
+		if err != nil {
+			return err
+		}
+		if len(n.entries) < h.order {
+			n.hashes = append(n.hashes, hv)
+			n.entries = append(n.entries, e)
+			return t.pager.Update(a, marshalNode(n, h.order))
+		}
+		a = n.next
+	}
+	nn := &node{next: head, hashes: []uint64{hv}, entries: []uint64{e}}
+	na, err := t.pager.Insert(marshalNode(nn, h.order))
+	if err != nil {
+		return err
+	}
+	return t.setBucketHead(h, b, na)
+}
+
+// addBucket extends the directory by one bucket (growing a chunk or
+// adding one) and returns its index.
+func (t *Table) addBucket(h *header) (uint32, error) {
+	b := h.nbuckets
+	ci := int(b) / chunkEntries
+	if ci >= len(h.chunks) {
+		chunk := make([]byte, 8*chunkEntries)
+		for i := 0; i < chunkEntries; i++ {
+			binary.LittleEndian.PutUint64(chunk[8*i:], addr.Nil.Pack())
+		}
+		ca, err := t.pager.Insert(chunk)
+		if err != nil {
+			return 0, err
+		}
+		h.chunks = append(h.chunks, ca)
+	}
+	h.nbuckets++
+	return b, nil
+}
+
+// split performs one linear-hashing split: bucket h.next's entries are
+// redistributed between h.next and the new bucket by the next hash bit.
+func (t *Table) split(h *header) error {
+	oldB := h.next
+	newB, err := t.addBucket(h)
+	if err != nil {
+		return err
+	}
+	// Collect the old chain.
+	head, err := t.bucketHead(h, oldB)
+	if err != nil {
+		return err
+	}
+	var hvs, es []uint64
+	var nodes []addr.EntityAddr
+	for a := head; !a.IsNil(); {
+		buf, err := t.pager.Read(a)
+		if err != nil {
+			return err
+		}
+		n, err := unmarshalNode(buf)
+		if err != nil {
+			return err
+		}
+		hvs = append(hvs, n.hashes...)
+		es = append(es, n.entries...)
+		nodes = append(nodes, a)
+		a = n.next
+	}
+	// Advance the split pointer before rebuilding so bucketIndex
+	// routes rehashed entries with level+1 bits.
+	h.next++
+	if h.next == 1<<h.level {
+		h.level++
+		h.next = 0
+	}
+	// Free the old chain and clear both heads.
+	for _, a := range nodes {
+		if err := t.pager.Delete(a); err != nil {
+			return err
+		}
+	}
+	if err := t.setBucketHead(h, oldB, addr.Nil); err != nil {
+		return err
+	}
+	if err := t.setBucketHead(h, newB, addr.Nil); err != nil {
+		return err
+	}
+	// Redistribute.
+	for i := range es {
+		b := h.bucketIndex(hvs[i])
+		if b != oldB && b != newB {
+			return fmt.Errorf("linhash: split redistribution sent hash %x to bucket %d (split %d/%d)", hvs[i], b, oldB, newB)
+		}
+		if err := t.insertInto(h, b, hvs[i], es[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes entry e; ErrNotFound if absent.
+func (t *Table) Delete(e uint64) error {
+	h, err := t.readHeader()
+	if err != nil {
+		return err
+	}
+	hv, err := t.hash(e)
+	if err != nil {
+		return err
+	}
+	b := h.bucketIndex(hv)
+	head, err := t.bucketHead(h, b)
+	if err != nil {
+		return err
+	}
+	var prev addr.EntityAddr
+	var prevNode *node
+	for a := head; !a.IsNil(); {
+		buf, err := t.pager.Read(a)
+		if err != nil {
+			return err
+		}
+		n, err := unmarshalNode(buf)
+		if err != nil {
+			return err
+		}
+		for i, x := range n.entries {
+			if x != e {
+				continue
+			}
+			n.hashes = append(n.hashes[:i], n.hashes[i+1:]...)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			if len(n.entries) == 0 {
+				// Unlink the empty node.
+				if prevNode == nil {
+					if err := t.setBucketHead(h, b, n.next); err != nil {
+						return err
+					}
+				} else {
+					prevNode.next = n.next
+					if err := t.pager.Update(prev, marshalNode(prevNode, h.order)); err != nil {
+						return err
+					}
+				}
+				if err := t.pager.Delete(a); err != nil {
+					return err
+				}
+			} else if err := t.pager.Update(a, marshalNode(n, h.order)); err != nil {
+				return err
+			}
+			h.count--
+			return t.writeHeader(h)
+		}
+		prev, prevNode = a, n
+		a = n.next
+	}
+	return ErrNotFound
+}
+
+// Lookup calls fn for every entry whose key matches, stopping early if
+// fn returns false.
+func (t *Table) Lookup(key any, keyHash uint64, fn func(entry uint64) bool) error {
+	h, err := t.readHeader()
+	if err != nil {
+		return err
+	}
+	b := h.bucketIndex(keyHash)
+	head, err := t.bucketHead(h, b)
+	if err != nil {
+		return err
+	}
+	for a := head; !a.IsNil(); {
+		buf, err := t.pager.Read(a)
+		if err != nil {
+			return err
+		}
+		n, err := unmarshalNode(buf)
+		if err != nil {
+			return err
+		}
+		for i, hv := range n.hashes {
+			if hv != keyHash {
+				continue
+			}
+			ok, err := t.match(key, n.entries[i])
+			if err != nil {
+				return err
+			}
+			if ok && !fn(n.entries[i]) {
+				return nil
+			}
+		}
+		a = n.next
+	}
+	return nil
+}
+
+// Count returns the number of entries.
+func (t *Table) Count() (uint64, error) {
+	h, err := t.readHeader()
+	if err != nil {
+		return 0, err
+	}
+	return h.count, nil
+}
+
+// Buckets returns the current bucket count (for load-factor tests).
+func (t *Table) Buckets() (uint32, error) {
+	h, err := t.readHeader()
+	if err != nil {
+		return 0, err
+	}
+	return h.nbuckets, nil
+}
+
+// Scan calls fn for every entry in the table, in arbitrary order.
+func (t *Table) Scan(fn func(entry uint64) bool) error {
+	h, err := t.readHeader()
+	if err != nil {
+		return err
+	}
+	for b := uint32(0); b < h.nbuckets; b++ {
+		head, err := t.bucketHead(h, b)
+		if err != nil {
+			return err
+		}
+		for a := head; !a.IsNil(); {
+			buf, err := t.pager.Read(a)
+			if err != nil {
+				return err
+			}
+			n, err := unmarshalNode(buf)
+			if err != nil {
+				return err
+			}
+			for _, e := range n.entries {
+				if !fn(e) {
+					return nil
+				}
+			}
+			a = n.next
+		}
+	}
+	return nil
+}
+
+// Check verifies structural invariants: every entry is in the bucket
+// its stored hash routes to, node fill is within bounds, and the header
+// count matches.
+func (t *Table) Check() error {
+	h, err := t.readHeader()
+	if err != nil {
+		return err
+	}
+	var total uint64
+	for b := uint32(0); b < h.nbuckets; b++ {
+		head, err := t.bucketHead(h, b)
+		if err != nil {
+			return err
+		}
+		for a := head; !a.IsNil(); {
+			buf, err := t.pager.Read(a)
+			if err != nil {
+				return err
+			}
+			n, err := unmarshalNode(buf)
+			if err != nil {
+				return err
+			}
+			if len(n.entries) == 0 {
+				return fmt.Errorf("linhash: empty node in bucket %d", b)
+			}
+			if len(n.entries) > h.order {
+				return fmt.Errorf("linhash: overfull node in bucket %d", b)
+			}
+			for i, hv := range n.hashes {
+				if got := h.bucketIndex(hv); got != b {
+					return fmt.Errorf("linhash: entry %x in bucket %d, routes to %d", n.entries[i], b, got)
+				}
+			}
+			total += uint64(len(n.entries))
+			a = n.next
+		}
+	}
+	if total != h.count {
+		return fmt.Errorf("linhash: header count %d != walked %d", h.count, total)
+	}
+	return nil
+}

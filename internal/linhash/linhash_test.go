@@ -1,0 +1,347 @@
+package linhash
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mmdb/internal/addr"
+)
+
+type mapPager struct {
+	data map[addr.EntityAddr][]byte
+	next uint32
+}
+
+func newMapPager() *mapPager { return &mapPager{data: make(map[addr.EntityAddr][]byte)} }
+
+func (p *mapPager) Read(a addr.EntityAddr) ([]byte, error) {
+	d, ok := p.data[a]
+	if !ok {
+		return nil, fmt.Errorf("mapPager: no entity %v", a)
+	}
+	return d, nil
+}
+
+func (p *mapPager) Insert(data []byte) (addr.EntityAddr, error) {
+	p.next++
+	a := addr.EntityAddr{Segment: 6, Part: addr.PartitionNum(p.next >> 12), Slot: addr.Slot(p.next & 0xFFF)}
+	p.data[a] = append([]byte(nil), data...)
+	return a, nil
+}
+
+func (p *mapPager) Update(a addr.EntityAddr, data []byte) error {
+	if _, ok := p.data[a]; !ok {
+		return fmt.Errorf("mapPager: update of missing %v", a)
+	}
+	p.data[a] = append([]byte(nil), data...)
+	return nil
+}
+
+func (p *mapPager) Delete(a addr.EntityAddr) error {
+	if _, ok := p.data[a]; !ok {
+		return fmt.Errorf("mapPager: delete of missing %v", a)
+	}
+	delete(p.data, a)
+	return nil
+}
+
+// Entries encode key*1000+uid; the hash function is a deliberate
+// multiplicative scramble of the key part.
+func entry(key, uid uint64) uint64 { return key*1000 + uid }
+
+func keyHash(k uint64) uint64 { return k * 0x9E3779B97F4A7C15 }
+
+func hashEntry(e uint64) (uint64, error) { return keyHash(e / 1000), nil }
+
+func matchKey(key any, e uint64) (bool, error) { return key.(uint64) == e/1000, nil }
+
+func newTestTable(t *testing.T, order int) (*Table, *mapPager) {
+	t.Helper()
+	p := newMapPager()
+	tb, _, err := Create(p, order, hashEntry, matchKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, p
+}
+
+func lookup(t *testing.T, tb *Table, key uint64) []uint64 {
+	t.Helper()
+	var out []uint64
+	if err := tb.Lookup(key, keyHash(key), func(e uint64) bool {
+		out = append(out, e)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCreateOpen(t *testing.T) {
+	p := newMapPager()
+	tb, ha, err := Create(p, 8, hashEntry, matchKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := tb.Count(); n != 0 {
+		t.Fatalf("Count = %d", n)
+	}
+	if b, _ := tb.Buckets(); b != 2 {
+		t.Fatalf("initial buckets = %d", b)
+	}
+	if _, err := Open(p, ha, hashEntry, matchKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Create(p, 1, hashEntry, matchKey); err == nil {
+		t.Fatal("order 1 accepted")
+	}
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	tb, _ := newTestTable(t, 4)
+	for k := uint64(1); k <= 100; k++ {
+		if err := tb.Insert(entry(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		got := lookup(t, tb, k)
+		if len(got) != 1 || got[0] != entry(k, 0) {
+			t.Fatalf("Lookup(%d) = %v", k, got)
+		}
+	}
+	if got := lookup(t, tb, 999); len(got) != 0 {
+		t.Fatalf("phantom lookup: %v", got)
+	}
+	for k := uint64(1); k <= 100; k += 2 {
+		if err := tb.Delete(entry(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		got := lookup(t, tb, k)
+		want := 1 - int(k%2)
+		if len(got) != want {
+			t.Fatalf("after deletes Lookup(%d) = %v", k, got)
+		}
+	}
+	if n, _ := tb.Count(); n != 50 {
+		t.Fatalf("Count = %d", n)
+	}
+}
+
+func TestSplitGrowth(t *testing.T) {
+	tb, _ := newTestTable(t, 4)
+	for k := uint64(0); k < 2000; k++ {
+		if err := tb.Insert(entry(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, _ := tb.Buckets()
+	if b < 100 {
+		t.Fatalf("only %d buckets after 2000 inserts with order 4", b)
+	}
+	if err := tb.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Load factor bound: count <= 3/4 * buckets * order  (+1 insert slack).
+	n, _ := tb.Count()
+	if n*4 > uint64(b)*4*3+4 {
+		t.Fatalf("load factor too high: %d entries in %d buckets", n, b)
+	}
+	// Everything still findable after many splits.
+	for k := uint64(0); k < 2000; k += 97 {
+		if got := lookup(t, tb, k); len(got) != 1 {
+			t.Fatalf("Lookup(%d) after splits = %v", k, got)
+		}
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tb, _ := newTestTable(t, 4)
+	for uid := uint64(0); uid < 30; uid++ {
+		if err := tb.Insert(entry(7, uid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := lookup(t, tb, 7)
+	if len(got) != 30 {
+		t.Fatalf("%d duplicates found", len(got))
+	}
+	if err := tb.Delete(entry(7, 13)); err != nil {
+		t.Fatal(err)
+	}
+	got = lookup(t, tb, 7)
+	if len(got) != 29 {
+		t.Fatalf("%d after delete", len(got))
+	}
+	for _, e := range got {
+		if e == entry(7, 13) {
+			t.Fatal("deleted duplicate still present")
+		}
+	}
+	if err := tb.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteNotFound(t *testing.T) {
+	tb, _ := newTestTable(t, 4)
+	if err := tb.Delete(entry(1, 0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v", err)
+	}
+	if err := tb.Insert(entry(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Delete(entry(1, 1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestEmptyNodesFreed(t *testing.T) {
+	tb, p := newTestTable(t, 2)
+	baseline := len(p.data)
+	var es []uint64
+	for k := uint64(0); k < 300; k++ {
+		e := entry(k, 0)
+		es = append(es, e)
+		if err := tb.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range es {
+		if err := tb.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := tb.Count(); n != 0 {
+		t.Fatalf("Count = %d", n)
+	}
+	// All chain nodes freed; only header + directory chunks remain.
+	// Directory grew during inserts, so allow chunks but no nodes:
+	// every remaining entity must be the header or a chunk.
+	h, err := tb.readHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + len(h.chunks)
+	if len(p.data) != want {
+		t.Fatalf("%d entities remain, want %d (header+chunks, baseline %d)", len(p.data), want, baseline)
+	}
+}
+
+func TestScan(t *testing.T) {
+	tb, _ := newTestTable(t, 4)
+	want := map[uint64]bool{}
+	for k := uint64(0); k < 500; k++ {
+		e := entry(k, 0)
+		want[e] = true
+		if err := tb.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[uint64]bool{}
+	if err := tb.Scan(func(e uint64) bool { got[e] = true; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Scan saw %d of %d", len(got), len(want))
+	}
+	// Early stop.
+	n := 0
+	if err := tb.Scan(func(uint64) bool { n++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("early stop after %d", n)
+	}
+}
+
+func TestModelEquivalenceRandomOps(t *testing.T) {
+	for _, order := range []int{2, 8} {
+		order := order
+		t.Run(fmt.Sprintf("order%d", order), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(order) * 31))
+			tb, _ := newTestTable(t, order)
+			model := map[uint64]bool{}
+			for step := 0; step < 4000; step++ {
+				e := entry(uint64(rng.Intn(300)), uint64(rng.Intn(4)))
+				if model[e] || (rng.Intn(3) == 0 && len(model) > 0) {
+					err := tb.Delete(e)
+					if model[e] && err != nil {
+						t.Fatalf("step %d: present entry: %v", step, err)
+					}
+					if !model[e] && !errors.Is(err, ErrNotFound) {
+						t.Fatalf("step %d: absent entry: %v", step, err)
+					}
+					delete(model, e)
+				} else {
+					if err := tb.Insert(e); err != nil {
+						t.Fatal(err)
+					}
+					model[e] = true
+				}
+				if step%500 == 0 {
+					if err := tb.Check(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+			if err := tb.Check(); err != nil {
+				t.Fatal(err)
+			}
+			// Model equivalence by key.
+			byKey := map[uint64]int{}
+			for e := range model {
+				byKey[e/1000]++
+			}
+			for k := uint64(0); k < 300; k++ {
+				if got := len(lookup(t, tb, k)); got != byKey[k] {
+					t.Fatalf("key %d: table %d, model %d", k, got, byKey[k])
+				}
+			}
+			n, _ := tb.Count()
+			if n != uint64(len(model)) {
+				t.Fatalf("Count = %d, model %d", n, len(model))
+			}
+		})
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	p := newMapPager()
+	tb, ha, err := Create(p, 4, hashEntry, matchKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 200; k++ {
+		if err := tb.Insert(entry(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb2, err := Open(p, ha, hashEntry, matchKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb2.Check(); err != nil {
+		t.Fatal(err)
+	}
+	var out []uint64
+	if err := tb2.Lookup(uint64(123), keyHash(123), func(e uint64) bool {
+		out = append(out, e)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != entry(123, 0) {
+		t.Fatalf("reopened lookup = %v", out)
+	}
+}

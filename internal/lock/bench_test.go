@@ -1,0 +1,31 @@
+package lock
+
+import "testing"
+
+func BenchmarkUncontendedLockRelease(b *testing.B) {
+	m := NewManager()
+	for i := 0; i < b.N; i++ {
+		txn := uint64(i + 1)
+		if err := m.Lock(txn, Relation(1), IX); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Lock(txn, Entity(uint64(i)), X); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(txn)
+	}
+}
+
+func BenchmarkSharedReaders(b *testing.B) {
+	m := NewManager()
+	for i := 0; i < b.N; i++ {
+		txn := uint64(i + 1)
+		if err := m.Lock(txn, Relation(1), IS); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Lock(txn, Entity(42), S); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(txn)
+	}
+}

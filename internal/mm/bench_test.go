@@ -1,0 +1,36 @@
+package mm
+
+import (
+	"testing"
+
+	"mmdb/internal/addr"
+)
+
+func BenchmarkPartitionInsertDelete(b *testing.B) {
+	p := NewPartition(addr.PartitionID{Segment: 2}, 48<<10)
+	data := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := p.Insert(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Delete(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshot48KB(b *testing.B) {
+	p := NewPartition(addr.PartitionID{Segment: 2}, 48<<10)
+	for i := 0; i < 400; i++ {
+		if _, err := p.Insert(make([]byte, 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(48 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Snapshot()
+	}
+}

@@ -1,0 +1,376 @@
+// Package mm implements the MM-DBMS memory organization of §2: every
+// database object (relation, index, or system data structure) is stored
+// in its own logical segment; segments are composed of fixed-size
+// partitions, the unit of memory allocation, checkpoint transfer, log
+// grouping, and post-crash recovery. Entities (tuples or index
+// components) are stored in partitions and do not cross partition
+// boundaries.
+//
+// A partition is a self-contained byte image: a header, a slot table
+// growing up, and a string-space heap growing down from the end, managed
+// as a heap with compaction. Keeping all state inside the byte image
+// means a checkpoint is a memory-speed copy of the image and recovery is
+// image + REDO replay, exactly as the paper requires.
+package mm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mmdb/internal/addr"
+)
+
+// Binary layout constants for the partition image.
+const (
+	hdrNumSlots  = 0 // uint16: slot table size
+	hdrFreeHead  = 2 // uint16: head of free-slot chain, noSlot if empty
+	hdrHeapTop   = 4 // uint32: lowest used heap byte (heap grows down)
+	hdrLiveBytes = 8 // uint32: live entity bytes (free-space accounting)
+	headerSize   = 12
+
+	slotEntrySize = 8 // uint32 offset + uint32 length
+	freeOffset    = 0xFFFFFFFF
+	noSlot        = 0xFFFF
+	maxSlots      = noSlot // slots are uint16; noSlot is the sentinel
+)
+
+// Errors returned by partition operations.
+var (
+	ErrPartitionFull = errors.New("mm: partition full")
+	ErrBadSlot       = errors.New("mm: no entity at slot")
+	ErrEntityTooBig  = errors.New("mm: entity exceeds partition capacity")
+)
+
+// Partition is one fixed-size unit of database storage. The latch
+// (§2.5: latches are held over partition manipulation) must be held by
+// callers around any mutation; read paths may rely on the caller's
+// higher-level locking.
+type Partition struct {
+	id  addr.PartitionID
+	mu  sync.Mutex // the partition latch
+	buf []byte
+}
+
+// NewPartition creates an empty partition image of size bytes.
+func NewPartition(id addr.PartitionID, size int) *Partition {
+	if size < headerSize+slotEntrySize {
+		panic("mm: partition size too small")
+	}
+	p := &Partition{id: id, buf: make([]byte, size)}
+	p.setU16(hdrNumSlots, 0)
+	p.setU16(hdrFreeHead, noSlot)
+	p.setU32(hdrHeapTop, uint32(size))
+	p.setU32(hdrLiveBytes, 0)
+	return p
+}
+
+// FromImage reconstructs a partition from a checkpoint image.
+func FromImage(id addr.PartitionID, image []byte) *Partition {
+	return &Partition{id: id, buf: append([]byte(nil), image...)}
+}
+
+// ID returns the partition's identity.
+func (p *Partition) ID() addr.PartitionID { return p.id }
+
+// Size returns the partition image size in bytes.
+func (p *Partition) Size() int { return len(p.buf) }
+
+// Latch acquires the partition latch.
+func (p *Partition) Latch() { p.mu.Lock() }
+
+// Unlatch releases the partition latch.
+func (p *Partition) Unlatch() { p.mu.Unlock() }
+
+func (p *Partition) setU16(off int, v uint16) { binary.LittleEndian.PutUint16(p.buf[off:], v) }
+func (p *Partition) setU32(off int, v uint32) { binary.LittleEndian.PutUint32(p.buf[off:], v) }
+func (p *Partition) u16(off int) uint16       { return binary.LittleEndian.Uint16(p.buf[off:]) }
+func (p *Partition) u32(off int) uint32       { return binary.LittleEndian.Uint32(p.buf[off:]) }
+
+func (p *Partition) slotOff(s addr.Slot) int { return headerSize + int(s)*slotEntrySize }
+
+func (p *Partition) slotEntry(s addr.Slot) (off, length uint32) {
+	so := p.slotOff(s)
+	return p.u32(so), p.u32(so + 4)
+}
+
+func (p *Partition) setSlotEntry(s addr.Slot, off, length uint32) {
+	so := p.slotOff(s)
+	p.setU32(so, off)
+	p.setU32(so+4, length)
+}
+
+// slotTableEnd returns the first byte past the slot table.
+func (p *Partition) slotTableEnd() int {
+	return headerSize + int(p.u16(hdrNumSlots))*slotEntrySize
+}
+
+// FreeBytes returns the total reclaimable space: the gap between slot
+// table and heap top plus dead heap bytes (recoverable by compaction).
+func (p *Partition) FreeBytes() int {
+	gap := int(p.u32(hdrHeapTop)) - p.slotTableEnd()
+	dead := len(p.buf) - int(p.u32(hdrHeapTop)) - int(p.u32(hdrLiveBytes))
+	return gap + dead
+}
+
+// LiveBytes returns the bytes occupied by live entities.
+func (p *Partition) LiveBytes() int { return int(p.u32(hdrLiveBytes)) }
+
+// EntityCount returns the number of live entities.
+func (p *Partition) EntityCount() int {
+	n := 0
+	for s := 0; s < int(p.u16(hdrNumSlots)); s++ {
+		if off, _ := p.slotEntry(addr.Slot(s)); off != freeOffset {
+			n++
+		}
+	}
+	return n
+}
+
+// allocSlot returns a free slot index, reusing the free chain or growing
+// the table. Growing requires gap space below the heap top.
+func (p *Partition) allocSlot() (addr.Slot, error) {
+	if h := p.u16(hdrFreeHead); h != noSlot {
+		_, next := p.slotEntry(addr.Slot(h))
+		p.setU16(hdrFreeHead, uint16(next))
+		return addr.Slot(h), nil
+	}
+	n := p.u16(hdrNumSlots)
+	if int(n) >= maxSlots {
+		return 0, ErrPartitionFull
+	}
+	if p.slotTableEnd()+slotEntrySize > int(p.u32(hdrHeapTop)) {
+		p.compact()
+		if p.slotTableEnd()+slotEntrySize > int(p.u32(hdrHeapTop)) {
+			return 0, ErrPartitionFull
+		}
+	}
+	p.setU16(hdrNumSlots, n+1)
+	p.setSlotEntry(addr.Slot(n), freeOffset, uint32(noSlot))
+	return addr.Slot(n), nil
+}
+
+func (p *Partition) freeSlot(s addr.Slot) {
+	p.setSlotEntry(s, freeOffset, uint32(p.u16(hdrFreeHead)))
+	p.setU16(hdrFreeHead, uint16(s))
+}
+
+// heapAlloc reserves n bytes at the top of the heap, compacting if the
+// bump gap is too small but dead space exists. Returns the offset.
+func (p *Partition) heapAlloc(n int) (uint32, error) {
+	top := int(p.u32(hdrHeapTop))
+	if top-n < p.slotTableEnd() {
+		p.compact()
+		top = int(p.u32(hdrHeapTop))
+		if top-n < p.slotTableEnd() {
+			return 0, ErrPartitionFull
+		}
+	}
+	top -= n
+	p.setU32(hdrHeapTop, uint32(top))
+	return uint32(top), nil
+}
+
+// compact squeezes live entities to the end of the image, reclaiming
+// dead heap bytes. Slot indirection keeps entity addresses stable.
+func (p *Partition) compact() {
+	type live struct {
+		slot addr.Slot
+		off  uint32
+		len  uint32
+	}
+	var entities []live
+	for s := 0; s < int(p.u16(hdrNumSlots)); s++ {
+		if off, length := p.slotEntry(addr.Slot(s)); off != freeOffset {
+			entities = append(entities, live{addr.Slot(s), off, length})
+		}
+	}
+	// Move highest-offset entities first so copies never overlap a
+	// not-yet-moved source.
+	sort.Slice(entities, func(i, j int) bool { return entities[i].off > entities[j].off })
+	dst := uint32(len(p.buf))
+	for _, e := range entities {
+		dst -= e.len
+		if dst != e.off {
+			copy(p.buf[dst:dst+e.len], p.buf[e.off:e.off+e.len])
+			p.setSlotEntry(e.slot, dst, e.len)
+		}
+	}
+	p.setU32(hdrHeapTop, dst)
+}
+
+// Insert stores a new entity and returns its slot.
+func (p *Partition) Insert(data []byte) (addr.Slot, error) {
+	if len(data) > len(p.buf)-headerSize-slotEntrySize {
+		return 0, fmt.Errorf("%w: %d bytes into %d-byte partition", ErrEntityTooBig, len(data), len(p.buf))
+	}
+	s, err := p.allocSlot()
+	if err != nil {
+		return 0, err
+	}
+	off, err := p.heapAlloc(len(data))
+	if err != nil {
+		p.freeSlot(s)
+		return 0, err
+	}
+	copy(p.buf[off:], data)
+	p.setSlotEntry(s, off, uint32(len(data)))
+	p.setU32(hdrLiveBytes, p.u32(hdrLiveBytes)+uint32(len(data)))
+	return s, nil
+}
+
+// InsertAt stores an entity at a specific slot; used by REDO replay,
+// which must reproduce the exact addresses the original operations
+// produced. The slot must be free (or beyond the current table).
+func (p *Partition) InsertAt(s addr.Slot, data []byte) error {
+	// Grow the table (as free slots) until s exists. allocSlot would
+	// prefer the free chain, so extend the table explicitly.
+	for int(s) >= int(p.u16(hdrNumSlots)) {
+		n := p.u16(hdrNumSlots)
+		if int(n) >= maxSlots {
+			return ErrPartitionFull
+		}
+		if p.slotTableEnd()+slotEntrySize > int(p.u32(hdrHeapTop)) {
+			p.compact()
+			if p.slotTableEnd()+slotEntrySize > int(p.u32(hdrHeapTop)) {
+				return ErrPartitionFull
+			}
+		}
+		p.setU16(hdrNumSlots, n+1)
+		p.freeSlot(addr.Slot(n))
+	}
+	if off, _ := p.slotEntry(s); off != freeOffset {
+		return fmt.Errorf("mm: InsertAt slot %d already occupied", s)
+	}
+	// Unlink s from the free chain.
+	if h := p.u16(hdrFreeHead); h == uint16(s) {
+		_, next := p.slotEntry(s)
+		p.setU16(hdrFreeHead, uint16(next))
+	} else {
+		for cur := h; cur != noSlot; {
+			_, next := p.slotEntry(addr.Slot(cur))
+			if uint16(next) == uint16(s) {
+				_, nn := p.slotEntry(s)
+				p.setSlotEntry(addr.Slot(cur), freeOffset, nn)
+				break
+			}
+			cur = uint16(next)
+		}
+	}
+	off, err := p.heapAlloc(len(data))
+	if err != nil {
+		p.freeSlot(s)
+		return err
+	}
+	copy(p.buf[off:], data)
+	p.setSlotEntry(s, off, uint32(len(data)))
+	p.setU32(hdrLiveBytes, p.u32(hdrLiveBytes)+uint32(len(data)))
+	return nil
+}
+
+// Read returns the entity at slot s. The returned slice aliases the
+// partition image and is only valid until the next mutation; callers
+// that retain it must copy.
+func (p *Partition) Read(s addr.Slot) ([]byte, error) {
+	if int(s) >= int(p.u16(hdrNumSlots)) {
+		return nil, fmt.Errorf("%w: slot %d", ErrBadSlot, s)
+	}
+	off, length := p.slotEntry(s)
+	if off == freeOffset {
+		return nil, fmt.Errorf("%w: slot %d", ErrBadSlot, s)
+	}
+	return p.buf[off : off+length : off+length], nil
+}
+
+// Update replaces the entity at slot s. Same-size updates are done in
+// place; size changes reallocate within the partition.
+func (p *Partition) Update(s addr.Slot, data []byte) error {
+	if int(s) >= int(p.u16(hdrNumSlots)) {
+		return fmt.Errorf("%w: slot %d", ErrBadSlot, s)
+	}
+	off, length := p.slotEntry(s)
+	if off == freeOffset {
+		return fmt.Errorf("%w: slot %d", ErrBadSlot, s)
+	}
+	if int(length) == len(data) {
+		copy(p.buf[off:], data)
+		return nil
+	}
+	// Fit check before any mutation: after freeing the old copy and a
+	// full compaction, the heap top would sit at len(buf) - (live -
+	// length); the new entity must fit above the slot table.
+	if len(p.buf)-int(p.u32(hdrLiveBytes)-length)-len(data) < p.slotTableEnd() {
+		return ErrPartitionFull
+	}
+	// Mark the old space dead so compaction may reclaim it.
+	p.setU32(hdrLiveBytes, p.u32(hdrLiveBytes)-length)
+	p.setSlotEntry(s, freeOffset, uint32(noSlot)) // keep out of free chain
+	noff, err := p.heapAlloc(len(data))
+	if err != nil {
+		// Unreachable given the fit check above.
+		panic("mm: Update realloc failed after fit check")
+	}
+	copy(p.buf[noff:], data)
+	p.setSlotEntry(s, noff, uint32(len(data)))
+	p.setU32(hdrLiveBytes, p.u32(hdrLiveBytes)+uint32(len(data)))
+	return nil
+}
+
+// WriteAt overwrites length bytes of the entity at slot s starting at
+// byte offset within the entity. Used for in-place field updates and
+// index node mutation.
+func (p *Partition) WriteAt(s addr.Slot, entOff int, data []byte) error {
+	if int(s) >= int(p.u16(hdrNumSlots)) {
+		return fmt.Errorf("%w: slot %d", ErrBadSlot, s)
+	}
+	off, length := p.slotEntry(s)
+	if off == freeOffset {
+		return fmt.Errorf("%w: slot %d", ErrBadSlot, s)
+	}
+	if entOff < 0 || entOff+len(data) > int(length) {
+		return fmt.Errorf("mm: WriteAt [%d,%d) outside entity of %d bytes", entOff, entOff+len(data), length)
+	}
+	copy(p.buf[int(off)+entOff:], data)
+	return nil
+}
+
+// Delete removes the entity at slot s.
+func (p *Partition) Delete(s addr.Slot) error {
+	if int(s) >= int(p.u16(hdrNumSlots)) {
+		return fmt.Errorf("%w: slot %d", ErrBadSlot, s)
+	}
+	off, length := p.slotEntry(s)
+	if off == freeOffset {
+		return fmt.Errorf("%w: slot %d", ErrBadSlot, s)
+	}
+	p.setU32(hdrLiveBytes, p.u32(hdrLiveBytes)-length)
+	p.freeSlot(s)
+	return nil
+}
+
+// Slots calls fn for every live entity in slot order; fn's data slice
+// aliases the image. It stops early if fn returns false.
+func (p *Partition) Slots(fn func(s addr.Slot, data []byte) bool) {
+	for s := 0; s < int(p.u16(hdrNumSlots)); s++ {
+		off, length := p.slotEntry(addr.Slot(s))
+		if off == freeOffset {
+			continue
+		}
+		if !fn(addr.Slot(s), p.buf[off:off+length:off+length]) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a copy of the partition image: the unit of transfer
+// for checkpoint operations (§2). The caller must hold whatever locks
+// make the content transaction-consistent.
+func (p *Partition) Snapshot() []byte {
+	return append([]byte(nil), p.buf...)
+}
+
+// Image exposes the raw partition image for in-place REDO replay; the
+// caller must hold the latch.
+func (p *Partition) Image() []byte { return p.buf }

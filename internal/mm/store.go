@@ -1,0 +1,237 @@
+package mm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mmdb/internal/addr"
+)
+
+// ErrNotResident is returned when a partition is neither in memory nor
+// recoverable via the resolve hook — e.g. after a crash before recovery
+// has been wired up.
+var ErrNotResident = errors.New("mm: partition not memory-resident")
+
+// ResolveFunc recovers a missing partition on demand (§2.5: transactions
+// "generate a restore process for those partitions that are not yet
+// recovered"). It returns the recovered partition or an error.
+type ResolveFunc func(id addr.PartitionID) (*Partition, error)
+
+// Store is the volatile memory manager: the set of segments making up
+// the primary, memory-resident copy of the database. It is discarded
+// wholesale by a crash.
+type Store struct {
+	partSize int
+
+	mu       sync.RWMutex
+	segs     map[addr.SegmentID]*segment
+	nextSeg  addr.SegmentID
+	resolve  ResolveFunc
+	resolveM sync.Mutex // serialises recovery of distinct partitions
+}
+
+type segment struct {
+	id       addr.SegmentID
+	parts    map[addr.PartitionNum]*Partition
+	nextPart addr.PartitionNum
+}
+
+// NewStore creates an empty store whose partitions are partSize bytes.
+func NewStore(partSize int) *Store {
+	return &Store{
+		partSize: partSize,
+		segs:     make(map[addr.SegmentID]*segment),
+		nextSeg:  addr.FirstUserSegment,
+	}
+}
+
+// PartitionSize returns the configured partition size in bytes.
+func (st *Store) PartitionSize() int { return st.partSize }
+
+// SetResolve installs the on-demand recovery hook.
+func (st *Store) SetResolve(fn ResolveFunc) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.resolve = fn
+}
+
+// CreateSegment allocates a fresh segment ID for a new database object.
+func (st *Store) CreateSegment() addr.SegmentID {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	id := st.nextSeg
+	st.nextSeg++
+	st.segs[id] = &segment{id: id, parts: make(map[addr.PartitionNum]*Partition)}
+	return id
+}
+
+// EnsureSegment registers a segment with a specific ID (catalog
+// bootstrap and post-crash reconstruction).
+func (st *Store) EnsureSegment(id addr.SegmentID) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.segs[id]; !ok {
+		st.segs[id] = &segment{id: id, parts: make(map[addr.PartitionNum]*Partition)}
+	}
+	if id >= st.nextSeg {
+		st.nextSeg = id + 1
+	}
+}
+
+// DropSegment discards a segment and its partitions.
+func (st *Store) DropSegment(id addr.SegmentID) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.segs, id)
+}
+
+// AllocPartition adds a new, empty partition to the segment and returns
+// it. The partition is immediately resident.
+func (st *Store) AllocPartition(seg addr.SegmentID) (*Partition, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[seg]
+	if !ok {
+		return nil, fmt.Errorf("mm: no such segment %d", seg)
+	}
+	id := addr.PartitionID{Segment: seg, Part: s.nextPart}
+	s.nextPart++
+	p := NewPartition(id, st.partSize)
+	s.parts[id.Part] = p
+	return p, nil
+}
+
+// AllocPartitionAt registers a partition with a specific number; used
+// when REDO replay must recreate the exact partition numbering.
+func (st *Store) AllocPartitionAt(id addr.PartitionID) (*Partition, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[id.Segment]
+	if !ok {
+		return nil, fmt.Errorf("mm: no such segment %d", id.Segment)
+	}
+	if _, dup := s.parts[id.Part]; dup {
+		return nil, fmt.Errorf("mm: partition %v already exists", id)
+	}
+	p := NewPartition(id, st.partSize)
+	s.parts[id.Part] = p
+	if id.Part >= s.nextPart {
+		s.nextPart = id.Part + 1
+	}
+	return p, nil
+}
+
+// Install places a recovered partition into its segment, replacing any
+// prior copy.
+func (st *Store) Install(p *Partition) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segs[p.id.Segment]
+	if !ok {
+		s = &segment{id: p.id.Segment, parts: make(map[addr.PartitionNum]*Partition)}
+		st.segs[p.id.Segment] = s
+		if p.id.Segment >= st.nextSeg {
+			st.nextSeg = p.id.Segment + 1
+		}
+	}
+	s.parts[p.id.Part] = p
+	if p.id.Part >= s.nextPart {
+		s.nextPart = p.id.Part + 1
+	}
+}
+
+// Evict removes a partition from memory without touching stable copies;
+// used by tests and by crash simulation of partial residency.
+func (st *Store) Evict(id addr.PartitionID) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s, ok := st.segs[id.Segment]; ok {
+		delete(s.parts, id.Part)
+	}
+}
+
+// Resident reports whether the partition is currently in memory.
+func (st *Store) Resident(id addr.PartitionID) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.segs[id.Segment]
+	if !ok {
+		return false
+	}
+	_, ok = s.parts[id.Part]
+	return ok
+}
+
+// Partition returns the partition, triggering on-demand recovery through
+// the resolve hook if it is not resident.
+func (st *Store) Partition(id addr.PartitionID) (*Partition, error) {
+	st.mu.RLock()
+	s, ok := st.segs[id.Segment]
+	var p *Partition
+	if ok {
+		p = s.parts[id.Part]
+	}
+	resolve := st.resolve
+	st.mu.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	if resolve == nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotResident, id)
+	}
+	// Serialise recoveries so two transactions demanding the same
+	// partition produce one recovery transaction (§2.5).
+	st.resolveM.Lock()
+	defer st.resolveM.Unlock()
+	if st.Resident(id) {
+		return st.Partition(id)
+	}
+	rp, err := resolve(id)
+	if err != nil {
+		return nil, err
+	}
+	st.Install(rp)
+	return rp, nil
+}
+
+// Partitions returns the resident partitions of a segment in partition
+// order.
+func (st *Store) Partitions(seg addr.SegmentID) []*Partition {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.segs[seg]
+	if !ok {
+		return nil
+	}
+	out := make([]*Partition, 0, len(s.parts))
+	for _, p := range s.parts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id.Part < out[j].id.Part })
+	return out
+}
+
+// ResidentIDs lists every resident partition across all segments.
+func (st *Store) ResidentIDs() []addr.PartitionID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []addr.PartitionID
+	for _, s := range st.segs {
+		for pn := range s.parts {
+			out = append(out, addr.PartitionID{Segment: s.id, Part: pn})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Read fetches the entity at a full address, resolving residency.
+func (st *Store) Read(a addr.EntityAddr) ([]byte, error) {
+	p, err := st.Partition(a.Partition())
+	if err != nil {
+		return nil, err
+	}
+	return p.Read(a.Slot)
+}

@@ -1,0 +1,178 @@
+package mm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mmdb/internal/addr"
+)
+
+func TestStoreSegmentsAndPartitions(t *testing.T) {
+	st := NewStore(1024)
+	seg := st.CreateSegment()
+	if seg < addr.FirstUserSegment {
+		t.Fatalf("user segment id %d overlaps reserved range", seg)
+	}
+	p1, err := st.AllocPartition(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := st.AllocPartition(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.ID().Part == p2.ID().Part {
+		t.Fatal("duplicate partition numbers")
+	}
+	if !st.Resident(p1.ID()) {
+		t.Fatal("fresh partition not resident")
+	}
+	got, err := st.Partition(p1.ID())
+	if err != nil || got != p1 {
+		t.Fatalf("Partition() = %v, %v", got, err)
+	}
+	if n := len(st.Partitions(seg)); n != 2 {
+		t.Fatalf("Partitions = %d", n)
+	}
+	if _, err := st.AllocPartition(999); err == nil {
+		t.Fatal("alloc in missing segment succeeded")
+	}
+	st.DropSegment(seg)
+	if st.Resident(p1.ID()) {
+		t.Fatal("partition survives DropSegment")
+	}
+}
+
+func TestStoreMissingPartitionWithoutResolver(t *testing.T) {
+	st := NewStore(1024)
+	seg := st.CreateSegment()
+	_, err := st.Partition(addr.PartitionID{Segment: seg, Part: 7})
+	if !errors.Is(err, ErrNotResident) {
+		t.Fatalf("got %v, want ErrNotResident", err)
+	}
+}
+
+func TestStoreResolveHook(t *testing.T) {
+	st := NewStore(1024)
+	seg := st.CreateSegment()
+	id := addr.PartitionID{Segment: seg, Part: 3}
+	var calls atomic.Int32
+	st.SetResolve(func(got addr.PartitionID) (*Partition, error) {
+		calls.Add(1)
+		if got != id {
+			t.Errorf("resolve called for %v", got)
+		}
+		return NewPartition(got, 1024), nil
+	})
+	p, err := st.Partition(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID() != id {
+		t.Fatalf("resolved wrong partition %v", p.ID())
+	}
+	// Second access served from memory.
+	if _, err := st.Partition(id); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("resolve called %d times", calls.Load())
+	}
+}
+
+func TestStoreResolveConcurrentSingleRecovery(t *testing.T) {
+	st := NewStore(1024)
+	seg := st.CreateSegment()
+	id := addr.PartitionID{Segment: seg, Part: 0}
+	var calls atomic.Int32
+	st.SetResolve(func(got addr.PartitionID) (*Partition, error) {
+		calls.Add(1)
+		return NewPartition(got, 1024), nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := st.Partition(id); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("concurrent demand produced %d recoveries, want 1", calls.Load())
+	}
+}
+
+func TestStoreResolveError(t *testing.T) {
+	st := NewStore(1024)
+	seg := st.CreateSegment()
+	boom := errors.New("boom")
+	st.SetResolve(func(addr.PartitionID) (*Partition, error) { return nil, boom })
+	_, err := st.Partition(addr.PartitionID{Segment: seg, Part: 0})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAllocPartitionAtAndInstall(t *testing.T) {
+	st := NewStore(1024)
+	st.EnsureSegment(5)
+	id := addr.PartitionID{Segment: 5, Part: 9}
+	if _, err := st.AllocPartitionAt(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AllocPartitionAt(id); err == nil {
+		t.Fatal("duplicate AllocPartitionAt succeeded")
+	}
+	// Subsequent AllocPartition continues past the explicit number.
+	p, err := st.AllocPartition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID().Part != 10 {
+		t.Fatalf("next partition = %d, want 10", p.ID().Part)
+	}
+	// Install into an unknown segment creates it.
+	np := NewPartition(addr.PartitionID{Segment: 77, Part: 2}, 1024)
+	st.Install(np)
+	if !st.Resident(np.ID()) {
+		t.Fatal("installed partition not resident")
+	}
+	ids := st.ResidentIDs()
+	if len(ids) != 3 {
+		t.Fatalf("ResidentIDs = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if !ids[i-1].Less(ids[i]) {
+			t.Fatalf("ResidentIDs not sorted: %v", ids)
+		}
+	}
+}
+
+func TestStoreRead(t *testing.T) {
+	st := NewStore(1024)
+	seg := st.CreateSegment()
+	p, _ := st.AllocPartition(seg)
+	s, _ := p.Insert([]byte("via store"))
+	got, err := st.Read(addr.EntityAddr{Segment: seg, Part: p.ID().Part, Slot: s})
+	if err != nil || string(got) != "via store" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+	if _, err := st.Read(addr.EntityAddr{Segment: seg, Part: 99, Slot: 0}); err == nil {
+		t.Fatal("read of missing partition succeeded")
+	}
+}
+
+func TestEvict(t *testing.T) {
+	st := NewStore(1024)
+	seg := st.CreateSegment()
+	p, _ := st.AllocPartition(seg)
+	st.Evict(p.ID())
+	if st.Resident(p.ID()) {
+		t.Fatal("evicted partition still resident")
+	}
+}

@@ -1,0 +1,357 @@
+// Package simdisk simulates the disk hardware of the paper's recovery
+// architecture (§2.2, §3.1): a set of duplexed log disks managed by the
+// recovery CPU and a set of checkpoint disks managed by both CPUs, plus
+// the tape archive that log disks are rolled onto.
+//
+// The paper's timing model is reproduced: the drives are two-head-per-
+// surface high-performance disks with relatively low seek times; log
+// disk sectors are interleaved so that logically adjacent pages are
+// physically one sector apart, giving the disk a full sector time to set
+// up between back-to-back page writes; partitions are written in whole
+// tracks, and a track transfers at double the per-page rate. Contents
+// are kept in memory (they survive the simulated crash), and service
+// times are charged to the cost meter instead of sleeping.
+package simdisk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mmdb/internal/cost"
+)
+
+// LSN is a log sequence number: the address of one page on the log
+// disk. LSNs increase monotonically as pages are appended; the paper's
+// "log window" is an LSN interval maintained by the recovery manager.
+type LSN int64
+
+// NilLSN marks "no page". Valid LSNs start at 1.
+const NilLSN LSN = 0
+
+// Errors returned by disk operations.
+var (
+	ErrNoSuchPage   = errors.New("simdisk: no such log page")
+	ErrNoSuchTrack  = errors.New("simdisk: no such checkpoint track")
+	ErrMediaFailure = errors.New("simdisk: media failure")
+)
+
+// Params models drive timing. Values are estimates for a late-1980s
+// two-head-per-surface high-performance drive; the paper does not pin
+// exact figures, and absolute numbers only scale the experiments — the
+// reproduced shape does not depend on them.
+type Params struct {
+	AvgSeekMicros int64 // random seek, e.g. a partition read during recovery
+	AdjSeekMicros int64 // short seek between a partition's sibling log pages
+	RotateMicros  int64 // half-rotation latency charged on random access
+	BytesPerSec   int64 // sustained per-page transfer rate
+}
+
+// DefaultParams returns the drive model used throughout the experiments.
+func DefaultParams() Params {
+	return Params{
+		AvgSeekMicros: 8000,    // two heads per surface => low seeks
+		AdjSeekMicros: 2000,    // sibling log pages are relatively close
+		RotateMicros:  8300,    // half of a 16.7ms (3600 rpm) rotation
+		BytesPerSec:   2 << 20, // 2 MB/s page transfer
+	}
+}
+
+func (p Params) transferMicros(n int) int64 {
+	return int64(n) * 1e6 / p.BytesPerSec
+}
+
+// trackTransferMicros charges whole-track writes at double the per-page
+// rate, per §3.1.
+func (p Params) trackTransferMicros(n int) int64 {
+	return int64(n) * 1e6 / (2 * p.BytesPerSec)
+}
+
+// LogDisk is one append-only log disk. Pages are written individually;
+// because sectors are interleaved, sequential page appends pay only the
+// transfer time (the inter-sector gap covers setup), while reads during
+// recovery pay a short seek per page.
+type LogDisk struct {
+	params Params
+	meter  *cost.Meter
+
+	mu     sync.Mutex
+	pages  map[LSN][]byte
+	next   LSN
+	failed bool
+}
+
+// NewLogDisk creates an empty log disk. meter may be nil.
+func NewLogDisk(params Params, meter *cost.Meter) *LogDisk {
+	return &LogDisk{params: params, meter: meter, pages: make(map[LSN][]byte), next: 1}
+}
+
+// Append writes a page at the next LSN and returns that LSN.
+func (d *LogDisk) Append(page []byte) (LSN, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return NilLSN, ErrMediaFailure
+	}
+	lsn := d.next
+	d.next++
+	d.pages[lsn] = append([]byte(nil), page...)
+	d.meter.ChargeLogDisk(d.params.transferMicros(len(page)))
+	return lsn, nil
+}
+
+// WriteAt overwrites the page at a specific LSN; used by the duplex pair
+// to mirror its primary's LSN assignment.
+func (d *LogDisk) WriteAt(lsn LSN, page []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrMediaFailure
+	}
+	d.pages[lsn] = append([]byte(nil), page...)
+	if lsn >= d.next {
+		d.next = lsn + 1
+	}
+	d.meter.ChargeLogDisk(d.params.transferMicros(len(page)))
+	return nil
+}
+
+// Read returns the page at lsn, charging a sibling-page seek plus
+// transfer.
+func (d *LogDisk) Read(lsn LSN) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return nil, ErrMediaFailure
+	}
+	p, ok := d.pages[lsn]
+	if !ok {
+		return nil, fmt.Errorf("%w: LSN %d", ErrNoSuchPage, lsn)
+	}
+	d.meter.ChargeLogDisk(d.params.AdjSeekMicros + d.params.transferMicros(len(p)))
+	return append([]byte(nil), p...), nil
+}
+
+// Drop releases pages up to and including lsn (after they have been
+// rolled to the archive), bounding the disk's footprint to the window.
+func (d *LogDisk) Drop(upTo LSN) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for l := range d.pages {
+		if l <= upTo {
+			delete(d.pages, l)
+		}
+	}
+}
+
+// NextLSN returns the LSN the next Append will use.
+func (d *LogDisk) NextLSN() LSN {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.next
+}
+
+// PageCount returns the number of resident pages.
+func (d *LogDisk) PageCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
+
+// Fail marks the disk as suffering a media failure; subsequent I/O
+// returns ErrMediaFailure until Repair.
+func (d *LogDisk) Fail() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = true
+	d.pages = make(map[LSN][]byte)
+}
+
+// Repair replaces the failed medium with a blank one.
+func (d *LogDisk) Repair() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = false
+}
+
+// DuplexLog is the duplexed pair of log disks (§2.2: "the other set of
+// (duplexed) disks holds log information"). Writes go to both spindles;
+// reads are served by the first healthy one.
+type DuplexLog struct {
+	Primary *LogDisk
+	Mirror  *LogDisk
+}
+
+// NewDuplexLog creates a duplexed pair sharing timing and meter.
+func NewDuplexLog(params Params, meter *cost.Meter) *DuplexLog {
+	return &DuplexLog{
+		Primary: NewLogDisk(params, meter),
+		Mirror:  NewLogDisk(params, meter),
+	}
+}
+
+// Append writes the page to both spindles and returns its LSN. The pair
+// fails only if both spindles fail.
+func (d *DuplexLog) Append(page []byte) (LSN, error) {
+	lsn, err := d.Primary.Append(page)
+	if err != nil {
+		// primary down: serve from the mirror alone
+		return d.Mirror.Append(page)
+	}
+	// Mirror at the same LSN; a mirror failure leaves the pair simplexed.
+	_ = d.Mirror.WriteAt(lsn, page)
+	return lsn, nil
+}
+
+// Read returns the page at lsn from the first healthy spindle.
+func (d *DuplexLog) Read(lsn LSN) ([]byte, error) {
+	p, err := d.Primary.Read(lsn)
+	if err == nil {
+		return p, nil
+	}
+	return d.Mirror.Read(lsn)
+}
+
+// Drop releases archived pages on both spindles.
+func (d *DuplexLog) Drop(upTo LSN) {
+	d.Primary.Drop(upTo)
+	d.Mirror.Drop(upTo)
+}
+
+// NextLSN returns the next LSN the pair will assign.
+func (d *DuplexLog) NextLSN() LSN {
+	n := d.Primary.NextLSN()
+	if m := d.Mirror.NextLSN(); m > n {
+		n = m
+	}
+	return n
+}
+
+// TrackLoc addresses one track on the checkpoint disk set.
+type TrackLoc int32
+
+// NilTrack marks "no checkpoint image". Valid locations start at 0.
+const NilTrack TrackLoc = -1
+
+// CheckpointDisk is the disk set holding partition checkpoint images,
+// organised by the recovery design as a pseudo-circular queue of tracks
+// (§2.4). The disk itself only stores and times track I/O; allocation
+// policy lives in the checkpoint manager.
+type CheckpointDisk struct {
+	params Params
+	meter  *cost.Meter
+
+	mu     sync.Mutex
+	tracks map[TrackLoc][]byte
+	n      int // capacity in tracks
+	failed bool
+}
+
+// NewCheckpointDisk creates a checkpoint disk set with n tracks.
+func NewCheckpointDisk(n int, params Params, meter *cost.Meter) *CheckpointDisk {
+	return &CheckpointDisk{params: params, meter: meter, tracks: make(map[TrackLoc][]byte), n: n}
+}
+
+// Tracks returns the capacity in tracks.
+func (d *CheckpointDisk) Tracks() int { return d.n }
+
+// WriteTrack stores a whole-track partition image. Writes land at the
+// head of the pseudo-circular queue, so they pay a short seek plus the
+// double-rate track transfer.
+func (d *CheckpointDisk) WriteTrack(loc TrackLoc, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrMediaFailure
+	}
+	if loc < 0 || int(loc) >= d.n {
+		return fmt.Errorf("%w: track %d of %d", ErrNoSuchTrack, loc, d.n)
+	}
+	d.tracks[loc] = append([]byte(nil), data...)
+	d.meter.ChargeCkptDisk(d.params.AdjSeekMicros + d.params.trackTransferMicros(len(data)))
+	return nil
+}
+
+// ReadTrack fetches a partition image during recovery: a random seek
+// plus rotation plus the double-rate track transfer.
+func (d *CheckpointDisk) ReadTrack(loc TrackLoc) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return nil, ErrMediaFailure
+	}
+	t, ok := d.tracks[loc]
+	if !ok {
+		return nil, fmt.Errorf("%w: track %d", ErrNoSuchTrack, loc)
+	}
+	d.meter.ChargeCkptDisk(d.params.AvgSeekMicros + d.params.RotateMicros + d.params.trackTransferMicros(len(t)))
+	return append([]byte(nil), t...), nil
+}
+
+// FreeTrack discards the image at loc (its partition has a newer copy).
+func (d *CheckpointDisk) FreeTrack(loc TrackLoc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.tracks, loc)
+}
+
+// Fail simulates a media failure: contents are lost and I/O errors
+// until Repair.
+func (d *CheckpointDisk) Fail() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = true
+	d.tracks = make(map[TrackLoc][]byte)
+}
+
+// Repair installs a blank medium.
+func (d *CheckpointDisk) Repair() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = false
+}
+
+// Tape entry kind tags: every archived entry is prefixed with one byte
+// identifying its content, so archive scans can interleave log pages
+// and audit pages unambiguously.
+const (
+	TapeKindLogPage byte = 0x01
+	TapeKindAudit   byte = 0xA5
+)
+
+// Tape is the archive medium that filled log disks are rolled onto
+// (§2.6). It is append-only and sequential.
+type Tape struct {
+	mu      sync.Mutex
+	entries [][]byte
+}
+
+// NewTape creates an empty archive tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Append archives one log page.
+func (t *Tape) Append(entry []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = append(t.entries, append([]byte(nil), entry...))
+}
+
+// Len returns the number of archived entries.
+func (t *Tape) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Scan calls fn for each archived entry in append order. fn must not
+// retain the slice.
+func (t *Tape) Scan(fn func(entry []byte) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

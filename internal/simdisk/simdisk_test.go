@@ -1,0 +1,272 @@
+package simdisk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mmdb/internal/cost"
+)
+
+func TestLogDiskAppendRead(t *testing.T) {
+	d := NewLogDisk(DefaultParams(), &cost.Meter{})
+	lsn1, err := d.Append([]byte("page-one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn2, err := d.Append([]byte("page-two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn1 != 1 || lsn2 != 2 {
+		t.Fatalf("LSNs = %d, %d; want 1, 2", lsn1, lsn2)
+	}
+	p, err := d.Read(lsn1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, []byte("page-one")) {
+		t.Fatalf("Read = %q", p)
+	}
+	if _, err := d.Read(99); !errors.Is(err, ErrNoSuchPage) {
+		t.Fatalf("missing page: got %v", err)
+	}
+}
+
+func TestLogDiskReadCopiesPage(t *testing.T) {
+	d := NewLogDisk(DefaultParams(), nil)
+	lsn, _ := d.Append([]byte{1, 2, 3})
+	p, _ := d.Read(lsn)
+	p[0] = 99
+	p2, _ := d.Read(lsn)
+	if p2[0] != 1 {
+		t.Fatal("Read returned aliased page storage")
+	}
+}
+
+func TestLogDiskDrop(t *testing.T) {
+	d := NewLogDisk(DefaultParams(), nil)
+	for i := 0; i < 5; i++ {
+		if _, err := d.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Drop(3)
+	if got := d.PageCount(); got != 2 {
+		t.Fatalf("PageCount after Drop = %d, want 2", got)
+	}
+	if _, err := d.Read(3); !errors.Is(err, ErrNoSuchPage) {
+		t.Fatalf("dropped page still readable: %v", err)
+	}
+	if _, err := d.Read(4); err != nil {
+		t.Fatalf("retained page unreadable: %v", err)
+	}
+	if d.NextLSN() != 6 {
+		t.Fatalf("NextLSN = %d, want 6", d.NextLSN())
+	}
+}
+
+func TestLogDiskFailRepair(t *testing.T) {
+	d := NewLogDisk(DefaultParams(), nil)
+	lsn, _ := d.Append([]byte("x"))
+	d.Fail()
+	if _, err := d.Append([]byte("y")); !errors.Is(err, ErrMediaFailure) {
+		t.Fatalf("append on failed disk: %v", err)
+	}
+	if _, err := d.Read(lsn); !errors.Is(err, ErrMediaFailure) {
+		t.Fatalf("read on failed disk: %v", err)
+	}
+	d.Repair()
+	// Contents were lost with the medium; new writes work.
+	if _, err := d.Read(lsn); !errors.Is(err, ErrNoSuchPage) {
+		t.Fatalf("read after repair: %v", err)
+	}
+	if _, err := d.Append([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplexSurvivesSingleFailure(t *testing.T) {
+	dx := NewDuplexLog(DefaultParams(), &cost.Meter{})
+	lsn, err := dx.Append([]byte("dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx.Primary.Fail()
+	p, err := dx.Read(lsn)
+	if err != nil {
+		t.Fatalf("read after primary failure: %v", err)
+	}
+	if !bytes.Equal(p, []byte("dup")) {
+		t.Fatalf("mirror served %q", p)
+	}
+	// Appends continue on the mirror.
+	lsn2, err := dx.Append([]byte("dup2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn2 <= lsn {
+		t.Fatalf("LSN did not advance: %d after %d", lsn2, lsn)
+	}
+	if _, err := dx.Read(lsn2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplexLSNsAgree(t *testing.T) {
+	dx := NewDuplexLog(DefaultParams(), nil)
+	for i := 0; i < 10; i++ {
+		lsn, err := dx.Append([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err1 := dx.Primary.Read(lsn)
+		pm, err2 := dx.Mirror.Read(lsn)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("read errs: %v, %v", err1, err2)
+		}
+		if !bytes.Equal(pp, pm) {
+			t.Fatalf("spindles disagree at LSN %d", lsn)
+		}
+	}
+	if dx.NextLSN() != 11 {
+		t.Fatalf("NextLSN = %d", dx.NextLSN())
+	}
+}
+
+func TestDuplexBothSpindlesFail(t *testing.T) {
+	dx := NewDuplexLog(DefaultParams(), nil)
+	lsn, _ := dx.Append([]byte("x"))
+	dx.Primary.Fail()
+	dx.Mirror.Fail()
+	if _, err := dx.Append([]byte("y")); !errors.Is(err, ErrMediaFailure) {
+		t.Fatalf("append with both spindles down: %v", err)
+	}
+	if _, err := dx.Read(lsn); !errors.Is(err, ErrMediaFailure) {
+		t.Fatalf("read with both spindles down: %v", err)
+	}
+	// Repairing one spindle restores service (contents are gone with
+	// the media — that is what the archive tape is for).
+	dx.Primary.Repair()
+	if _, err := dx.Append([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplexMirrorOnlyFailure(t *testing.T) {
+	dx := NewDuplexLog(DefaultParams(), nil)
+	dx.Mirror.Fail()
+	lsn, err := dx.Append([]byte("simplexed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dx.Read(lsn)
+	if err != nil || string(got) != "simplexed" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}
+
+func TestCheckpointDiskTrackIO(t *testing.T) {
+	d := NewCheckpointDisk(4, DefaultParams(), &cost.Meter{})
+	if d.Tracks() != 4 {
+		t.Fatalf("Tracks = %d", d.Tracks())
+	}
+	img := bytes.Repeat([]byte{7}, 1024)
+	if err := d.WriteTrack(2, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadTrack(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatal("track contents mismatch")
+	}
+	if err := d.WriteTrack(4, img); !errors.Is(err, ErrNoSuchTrack) {
+		t.Fatalf("out-of-range write: %v", err)
+	}
+	if err := d.WriteTrack(-1, img); !errors.Is(err, ErrNoSuchTrack) {
+		t.Fatalf("negative track write: %v", err)
+	}
+	if _, err := d.ReadTrack(3); !errors.Is(err, ErrNoSuchTrack) {
+		t.Fatalf("empty track read: %v", err)
+	}
+	d.FreeTrack(2)
+	if _, err := d.ReadTrack(2); !errors.Is(err, ErrNoSuchTrack) {
+		t.Fatalf("freed track read: %v", err)
+	}
+}
+
+func TestCheckpointDiskFailure(t *testing.T) {
+	d := NewCheckpointDisk(2, DefaultParams(), nil)
+	if err := d.WriteTrack(0, []byte("img")); err != nil {
+		t.Fatal(err)
+	}
+	d.Fail()
+	if _, err := d.ReadTrack(0); !errors.Is(err, ErrMediaFailure) {
+		t.Fatalf("read on failed disk: %v", err)
+	}
+	d.Repair()
+	if _, err := d.ReadTrack(0); !errors.Is(err, ErrNoSuchTrack) {
+		t.Fatalf("contents should be lost after media replacement: %v", err)
+	}
+}
+
+func TestTape(t *testing.T) {
+	tp := NewTape()
+	tp.Append([]byte("a"))
+	tp.Append([]byte("b"))
+	if tp.Len() != 2 {
+		t.Fatalf("Len = %d", tp.Len())
+	}
+	var got []string
+	err := tp.Scan(func(e []byte) error {
+		got = append(got, string(e))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Scan order = %v", got)
+	}
+	stop := errors.New("stop")
+	err = tp.Scan(func(e []byte) error { return stop })
+	if !errors.Is(err, stop) {
+		t.Fatalf("Scan error propagation: %v", err)
+	}
+}
+
+func TestTimingCharges(t *testing.T) {
+	m := &cost.Meter{}
+	p := DefaultParams()
+	d := NewLogDisk(p, m)
+	page := make([]byte, 8192)
+	if _, err := d.Append(page); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	wantXfer := int64(8192) * 1e6 / p.BytesPerSec
+	if snap.LogDiskMicros != wantXfer {
+		t.Fatalf("append charged %d us, want transfer-only %d us (interleaved sectors)", snap.LogDiskMicros, wantXfer)
+	}
+	before := snap.LogDiskMicros
+	if _, err := d.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Snapshot().LogDiskMicros - before
+	if got != p.AdjSeekMicros+wantXfer {
+		t.Fatalf("read charged %d us, want %d", got, p.AdjSeekMicros+wantXfer)
+	}
+
+	cd := NewCheckpointDisk(1, p, m)
+	img := make([]byte, 48<<10)
+	if err := cd.WriteTrack(0, img); err != nil {
+		t.Fatal(err)
+	}
+	ck := m.Snapshot().CkptDiskMicros
+	wantTrack := p.AdjSeekMicros + int64(len(img))*1e6/(2*p.BytesPerSec)
+	if ck != wantTrack {
+		t.Fatalf("track write charged %d us, want %d (double-rate track transfer)", ck, wantTrack)
+	}
+}

@@ -1,0 +1,182 @@
+// Package stablemem simulates the stable, reliable main memory that the
+// paper's recovery design depends on (§1, §2.2): a few megabytes of
+// memory that survives power loss and software failures, with read/write
+// performance two to four times slower than regular memory.
+//
+// The simulation keeps the contents in the Go heap, owned by a Memory
+// value that the crash model deliberately preserves: DB.Crash() discards
+// every volatile structure but hands the Memory (inside hw.Hardware) to
+// the restarted system. The slowdown is charged to the cost meter rather
+// than actually sleeping, so experiments measure it without wall-clock
+// penalty.
+//
+// The stable memory hosts three logically distinct regions, all bounded
+// by the configured capacity:
+//
+//   - the Stable Log Buffer (SLB): fixed-size blocks allocated to
+//     transactions on demand, each dedicated to a single transaction for
+//     its lifetime, so critical sections are needed only for block
+//     allocation, never for log writing itself (§2.3.1);
+//   - the Stable Log Tail (SLT): per-partition information blocks and,
+//     for active partitions, a current log-page buffer (§2.3.3);
+//   - the root area: the well-known location holding catalog partition
+//     addresses and the checkpoint communication buffer (§2.4, §2.5).
+//
+// Typed stable structures are registered under Root by their owners; the
+// byte-level Block type is used where the paper manipulates raw pages.
+package stablemem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mmdb/internal/cost"
+)
+
+// ErrExhausted is returned when an allocation would exceed the stable
+// memory's configured capacity.
+var ErrExhausted = errors.New("stablemem: capacity exhausted")
+
+// Memory is the stable reliable memory module.
+type Memory struct {
+	meter    *cost.Meter
+	slowdown int64 // cost multiplier vs regular memory (paper: 4)
+
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+
+	// root holds typed stable regions registered by their owners
+	// (e.g. the recovery manager's Stable Log Tail). The contents
+	// survive a crash because the Memory value does.
+	root map[string]any
+}
+
+// New creates a stable memory of the given capacity in bytes. slowdown
+// is the per-byte cost multiplier relative to regular memory; the paper
+// projects 4 for near-future stable reliable memory. meter may be nil.
+func New(capacity int64, slowdown int, meter *cost.Meter) *Memory {
+	if slowdown < 1 {
+		slowdown = 1
+	}
+	return &Memory{
+		meter:    meter,
+		slowdown: int64(slowdown),
+		capacity: capacity,
+		root:     make(map[string]any),
+	}
+}
+
+// Capacity returns the configured capacity in bytes.
+func (m *Memory) Capacity() int64 { return m.capacity }
+
+// Used returns the currently reserved byte count.
+func (m *Memory) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Reserve accounts for n bytes of stable memory used by a typed stable
+// structure. It fails with ErrExhausted if the capacity would be
+// exceeded.
+func (m *Memory) Reserve(n int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.used+n > m.capacity {
+		return fmt.Errorf("%w: used %d + request %d > capacity %d",
+			ErrExhausted, m.used, n, m.capacity)
+	}
+	m.used += n
+	return nil
+}
+
+// Release returns n bytes reserved with Reserve.
+func (m *Memory) Release(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.used -= n
+	if m.used < 0 {
+		panic("stablemem: release underflow")
+	}
+}
+
+// ChargeWrite charges the cost of writing n bytes to stable memory.
+func (m *Memory) ChargeWrite(n int) {
+	m.meter.ChargeStable(int64(n) * m.slowdown)
+}
+
+// ChargeRead charges the cost of reading n bytes from stable memory.
+func (m *Memory) ChargeRead(n int) {
+	m.meter.ChargeStable(int64(n) * m.slowdown)
+}
+
+// SetRoot registers a typed stable region under the given well-known
+// name. The region's byte footprint must have been reserved separately.
+func (m *Memory) SetRoot(name string, v any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.root[name] = v
+}
+
+// Root retrieves a typed stable region registered with SetRoot, or nil.
+func (m *Memory) Root(name string) any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.root[name]
+}
+
+// Block is a fixed-size block of stable memory. Blocks back the Stable
+// Log Buffer and the Stable Log Tail's log pages.
+type Block struct {
+	mem *Memory
+	buf []byte
+	n   int // bytes appended so far
+}
+
+// NewBlock allocates a block of the given size, reserving its footprint.
+func (m *Memory) NewBlock(size int) (*Block, error) {
+	if err := m.Reserve(int64(size)); err != nil {
+		return nil, err
+	}
+	return &Block{mem: m, buf: make([]byte, size)}, nil
+}
+
+// Free releases the block's stable memory reservation.
+func (b *Block) Free() {
+	if b.mem != nil {
+		b.mem.Release(int64(len(b.buf)))
+		b.mem = nil
+	}
+}
+
+// Size returns the block's capacity in bytes.
+func (b *Block) Size() int { return len(b.buf) }
+
+// Len returns the number of bytes appended so far.
+func (b *Block) Len() int { return b.n }
+
+// Remaining returns the free space left in the block.
+func (b *Block) Remaining() int { return len(b.buf) - b.n }
+
+// Append copies p into the block, charging stable-write cost. It returns
+// false (writing nothing) if p does not fit.
+func (b *Block) Append(p []byte) bool {
+	if len(p) > b.Remaining() {
+		return false
+	}
+	copy(b.buf[b.n:], p)
+	b.n += len(p)
+	b.mem.ChargeWrite(len(p))
+	return true
+}
+
+// Bytes returns the appended contents, charging stable-read cost.
+func (b *Block) Bytes() []byte {
+	b.mem.ChargeRead(b.n)
+	return b.buf[:b.n]
+}
+
+// Reset empties the block for reuse.
+func (b *Block) Reset() { b.n = 0 }

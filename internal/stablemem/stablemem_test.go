@@ -1,0 +1,138 @@
+package stablemem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"mmdb/internal/cost"
+)
+
+func TestReserveRelease(t *testing.T) {
+	m := New(100, 4, nil)
+	if err := m.Reserve(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reserve(50); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("over-reserve: got %v, want ErrExhausted", err)
+	}
+	if got := m.Used(); got != 60 {
+		t.Fatalf("Used() = %d, want 60", got)
+	}
+	m.Release(60)
+	if got := m.Used(); got != 0 {
+		t.Fatalf("Used() after release = %d, want 0", got)
+	}
+	if err := m.Reserve(100); err != nil {
+		t.Fatalf("full-capacity reserve after release: %v", err)
+	}
+}
+
+func TestReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release underflow did not panic")
+		}
+	}()
+	New(10, 1, nil).Release(1)
+}
+
+func TestBlockAppendBytes(t *testing.T) {
+	m := New(1024, 4, &cost.Meter{})
+	b, err := m.NewBlock(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Append([]byte("hello")) {
+		t.Fatal("append failed")
+	}
+	if !b.Append([]byte(" world")) {
+		t.Fatal("second append failed")
+	}
+	if b.Append(make([]byte, 6)) {
+		t.Fatal("overflowing append succeeded")
+	}
+	if got := b.Bytes(); !bytes.Equal(got, []byte("hello world")) {
+		t.Fatalf("Bytes() = %q", got)
+	}
+	if b.Len() != 11 || b.Remaining() != 5 || b.Size() != 16 {
+		t.Fatalf("Len/Remaining/Size = %d/%d/%d", b.Len(), b.Remaining(), b.Size())
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("Reset did not empty block")
+	}
+	b.Free()
+	if m.Used() != 0 {
+		t.Fatalf("Used() after Free = %d", m.Used())
+	}
+	b.Free() // double free must be a no-op
+}
+
+func TestBlockAllocationRespectsCapacity(t *testing.T) {
+	m := New(32, 1, nil)
+	b1, err := m.NewBlock(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewBlock(1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("got %v, want ErrExhausted", err)
+	}
+	b1.Free()
+	if _, err := m.NewBlock(32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlowdownCharging(t *testing.T) {
+	meter := &cost.Meter{}
+	m := New(1024, 4, meter)
+	m.ChargeWrite(10)
+	m.ChargeRead(5)
+	if got := meter.Snapshot().StableRefs; got != 60 {
+		t.Fatalf("StableRefs = %d, want 60 (15 bytes x slowdown 4)", got)
+	}
+	// slowdown below 1 is clamped to 1
+	m2 := New(1024, 0, meter)
+	before := meter.Snapshot().StableRefs
+	m2.ChargeWrite(7)
+	if got := meter.Snapshot().StableRefs - before; got != 7 {
+		t.Fatalf("clamped slowdown charge = %d, want 7", got)
+	}
+}
+
+func TestRootRegistry(t *testing.T) {
+	m := New(1024, 1, nil)
+	if m.Root("slt") != nil {
+		t.Fatal("unregistered root not nil")
+	}
+	v := &struct{ X int }{X: 42}
+	m.SetRoot("slt", v)
+	got, ok := m.Root("slt").(*struct{ X int })
+	if !ok || got.X != 42 {
+		t.Fatalf("Root() = %#v", m.Root("slt"))
+	}
+}
+
+func TestBlockAppendProperty(t *testing.T) {
+	// Appending arbitrary chunks never corrupts earlier contents and
+	// Bytes always equals the concatenation of accepted appends.
+	f := func(chunks [][]byte) bool {
+		m := New(1<<20, 2, &cost.Meter{})
+		b, err := m.NewBlock(256)
+		if err != nil {
+			return false
+		}
+		var want []byte
+		for _, c := range chunks {
+			if b.Append(c) {
+				want = append(want, c...)
+			}
+		}
+		return bytes.Equal(b.Bytes(), want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package ttree
+
+import "testing"
+
+func benchTree(b *testing.B, order, prefill int) *Tree {
+	b.Helper()
+	p := newMapPager()
+	tr, _, err := Create(p, order, cmpE, cmpK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < prefill; k++ {
+		if err := tr.Insert(entry(uint64(k), 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func BenchmarkInsertOrder16(b *testing.B) {
+	tr := benchTree(b, 16, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(entry(uint64(i), 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchOrder16(b *testing.B) {
+	tr := benchTree(b, 16, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found := false
+		if err := tr.Search(uint64(i%10000), func(uint64) bool { found = true; return false }); err != nil {
+			b.Fatal(err)
+		}
+		if !found {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkRange100(b *testing.B) {
+	tr := benchTree(b, 16, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(i % 9900)
+		n := 0
+		if err := tr.Range(lo, lo+99, func(uint64) bool { n++; return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeleteInsertChurn(b *testing.B) {
+	tr := benchTree(b, 16, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i % 10000)
+		if err := tr.Delete(entry(k, 0)); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Insert(entry(k, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package ttree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mmdb/internal/addr"
+)
+
+// mapPager is an in-memory Pager for exercising the tree algorithm in
+// isolation from the partition machinery.
+type mapPager struct {
+	data map[addr.EntityAddr][]byte
+	next uint32
+	// op counters for write-amplification assertions
+	inserts, updates, deletes int
+}
+
+func newMapPager() *mapPager {
+	return &mapPager{data: make(map[addr.EntityAddr][]byte)}
+}
+
+func (p *mapPager) Read(a addr.EntityAddr) ([]byte, error) {
+	d, ok := p.data[a]
+	if !ok {
+		return nil, fmt.Errorf("mapPager: no entity %v", a)
+	}
+	return d, nil
+}
+
+func (p *mapPager) Insert(data []byte) (addr.EntityAddr, error) {
+	p.next++
+	a := addr.EntityAddr{Segment: 5, Part: addr.PartitionNum(p.next >> 12), Slot: addr.Slot(p.next & 0xFFF)}
+	p.data[a] = append([]byte(nil), data...)
+	p.inserts++
+	return a, nil
+}
+
+func (p *mapPager) Update(a addr.EntityAddr, data []byte) error {
+	if _, ok := p.data[a]; !ok {
+		return fmt.Errorf("mapPager: update of missing %v", a)
+	}
+	p.data[a] = append([]byte(nil), data...)
+	p.updates++
+	return nil
+}
+
+func (p *mapPager) Delete(a addr.EntityAddr) error {
+	if _, ok := p.data[a]; !ok {
+		return fmt.Errorf("mapPager: delete of missing %v", a)
+	}
+	delete(p.data, a)
+	p.deletes++
+	return nil
+}
+
+// Test entries encode key*1000 + uid so duplicates (same key, distinct
+// uid) are representable.
+func entry(key, uid uint64) uint64 { return key*1000 + uid }
+
+func cmpE(a, b uint64) (int, error) {
+	switch {
+	case a < b:
+		return -1, nil
+	case a > b:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+func cmpK(key any, e uint64) (int, error) {
+	k := key.(uint64)
+	ek := e / 1000
+	switch {
+	case k < ek:
+		return -1, nil
+	case k > ek:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+func newTestTree(t *testing.T, order int) (*Tree, *mapPager) {
+	t.Helper()
+	p := newMapPager()
+	tr, _, err := Create(p, order, cmpE, cmpK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, p
+}
+
+func collect(t *testing.T, tr *Tree, lo, hi any) []uint64 {
+	t.Helper()
+	var out []uint64
+	if err := tr.Range(lo, hi, func(e uint64) bool {
+		out = append(out, e)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCreateOpenEmpty(t *testing.T) {
+	p := newMapPager()
+	tr, ha, err := Create(p, 8, cmpE, cmpK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := tr.Count(); n != 0 {
+		t.Fatalf("Count = %d", n)
+	}
+	if got := collect(t, tr, nil, nil); len(got) != 0 {
+		t.Fatalf("empty scan = %v", got)
+	}
+	tr2, err := Open(p, ha, cmpE, cmpK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.order != 8 {
+		t.Fatalf("reopened order = %d", tr2.order)
+	}
+	if _, _, err := Create(p, 1, cmpE, cmpK); err == nil {
+		t.Fatal("order 1 accepted")
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	for _, k := range []uint64{5, 3, 8, 1, 9, 7, 2, 6, 4} {
+		if err := tr.Insert(entry(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("after insert %d: %v", k, err)
+		}
+	}
+	var hits []uint64
+	if err := tr.Search(uint64(7), func(e uint64) bool { hits = append(hits, e); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0] != entry(7, 0) {
+		t.Fatalf("Search(7) = %v", hits)
+	}
+	if err := tr.Search(uint64(99), func(e uint64) bool { t.Error("phantom hit"); return true }); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, tr, nil, nil)
+	if len(got) != 9 {
+		t.Fatalf("full scan %d entries", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("scan unsorted: %v", got)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	// 20 duplicates of key 5 spread across many nodes, plus noise.
+	for uid := uint64(0); uid < 20; uid++ {
+		if err := tr.Insert(entry(5, uid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []uint64{1, 2, 3, 4, 6, 7, 8} {
+		if err := tr.Insert(entry(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	var hits []uint64
+	if err := tr.Search(uint64(5), func(e uint64) bool { hits = append(hits, e); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 20 {
+		t.Fatalf("Search(5) found %d of 20 duplicates", len(hits))
+	}
+	// Delete a specific duplicate, not its siblings.
+	if err := tr.Delete(entry(5, 7)); err != nil {
+		t.Fatal(err)
+	}
+	hits = hits[:0]
+	if err := tr.Search(uint64(5), func(e uint64) bool { hits = append(hits, e); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 19 {
+		t.Fatalf("after delete, %d duplicates", len(hits))
+	}
+	for _, h := range hits {
+		if h == entry(5, 7) {
+			t.Fatal("deleted duplicate still present")
+		}
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	for k := uint64(1); k <= 30; k++ {
+		if err := tr.Insert(entry(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, tr, uint64(10), uint64(20))
+	if len(got) != 11 || got[0] != entry(10, 0) || got[10] != entry(20, 0) {
+		t.Fatalf("Range(10,20) = %v", got)
+	}
+	// Half-open behaviours via nil bounds.
+	if got := collect(t, tr, uint64(28), nil); len(got) != 3 {
+		t.Fatalf("Range(28,nil) = %v", got)
+	}
+	if got := collect(t, tr, nil, uint64(3)); len(got) != 3 {
+		t.Fatalf("Range(nil,3) = %v", got)
+	}
+	// Early stop.
+	n := 0
+	if err := tr.Range(nil, nil, func(uint64) bool { n++; return n < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("early stop after %d", n)
+	}
+}
+
+func TestDeleteNotFound(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	if err := tr.Delete(entry(1, 0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty delete: %v", err)
+	}
+	if err := tr.Insert(entry(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(entry(2, 0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing delete: %v", err)
+	}
+}
+
+func TestDeleteToEmptyFreesNodes(t *testing.T) {
+	tr, p := newTestTree(t, 4)
+	var es []uint64
+	for k := uint64(1); k <= 50; k++ {
+		e := entry(k, 0)
+		es = append(es, e)
+		if err := tr.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range es {
+		if err := tr.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("after delete %d: %v", e, err)
+		}
+	}
+	if n, _ := tr.Count(); n != 0 {
+		t.Fatalf("Count = %d", n)
+	}
+	// Only the header entity should remain.
+	if len(p.data) != 1 {
+		t.Fatalf("%d entities leak after emptying tree", len(p.data))
+	}
+}
+
+func TestAscendingDescendingInserts(t *testing.T) {
+	// Sorted insert orders are the classic AVL stress.
+	for name, gen := range map[string]func(i uint64) uint64{
+		"ascending":  func(i uint64) uint64 { return i },
+		"descending": func(i uint64) uint64 { return 1000 - i },
+	} {
+		tr, _ := newTestTree(t, 8)
+		for i := uint64(1); i <= 500; i++ {
+			if err := tr.Insert(entry(gen(i), 0)); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := collect(t, tr, nil, nil); len(got) != 500 {
+			t.Fatalf("%s: %d entries", name, len(got))
+		}
+	}
+}
+
+func TestModelEquivalenceRandomOps(t *testing.T) {
+	for _, order := range []int{2, 4, 16} {
+		order := order
+		t.Run(fmt.Sprintf("order%d", order), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(order) * 77))
+			tr, _ := newTestTree(t, order)
+			model := map[uint64]bool{}
+			for step := 0; step < 4000; step++ {
+				e := entry(uint64(rng.Intn(200)), uint64(rng.Intn(5)))
+				if model[e] || rng.Intn(3) == 0 && len(model) > 0 {
+					// delete something (maybe e, maybe absent)
+					if err := tr.Delete(e); err != nil {
+						if !errors.Is(err, ErrNotFound) {
+							t.Fatal(err)
+						}
+						if model[e] {
+							t.Fatalf("step %d: present entry reported NotFound", step)
+						}
+					} else if !model[e] {
+						t.Fatalf("step %d: absent entry deleted", step)
+					}
+					delete(model, e)
+				} else {
+					if err := tr.Insert(e); err != nil {
+						t.Fatal(err)
+					}
+					model[e] = true
+				}
+				if step%250 == 0 {
+					if err := tr.Check(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+			if err := tr.Check(); err != nil {
+				t.Fatal(err)
+			}
+			var want []uint64
+			for e := range model {
+				want = append(want, e)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			got := collect(t, tr, nil, nil)
+			if len(got) != len(want) {
+				t.Fatalf("tree has %d entries, model %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("entry %d: tree %d, model %d", i, got[i], want[i])
+				}
+			}
+			if n, _ := tr.Count(); n != uint64(len(want)) {
+				t.Fatalf("Count = %d, want %d", n, len(want))
+			}
+		})
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	p := newMapPager()
+	tr, ha, err := Create(p, 6, cmpE, cmpK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		if err := tr.Insert(entry(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-open over the same pager (as recovery does after replaying
+	// node images) and verify contents.
+	tr2, err := Open(p, ha, cmpE, cmpK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, tr2, uint64(40), uint64(42)); len(got) != 3 {
+		t.Fatalf("reopened range = %v", got)
+	}
+}
+
+func TestWriteAmplificationBounded(t *testing.T) {
+	// One insert into a tree of moderate depth should touch O(log n)
+	// nodes, not O(n): this guards the view's dirty-tracking.
+	tr, p := newTestTree(t, 8)
+	for k := uint64(0); k < 2000; k++ {
+		if err := tr.Insert(entry(k*2, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.updates = 0
+	p.inserts = 0
+	if err := tr.Insert(entry(1999, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if p.updates+p.inserts > 25 {
+		t.Fatalf("single insert wrote %d nodes", p.updates+p.inserts)
+	}
+}

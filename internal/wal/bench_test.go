@@ -1,0 +1,27 @@
+package wal
+
+import (
+	"testing"
+
+	"mmdb/internal/addr"
+)
+
+func BenchmarkRecordEncode(b *testing.B) {
+	r := Record{Tag: TagRelWrite, Txn: 12345, PID: addr.PartitionID{Segment: 3, Part: 9}, Slot: 17, Off: 8, Data: make([]byte, 16)}
+	buf := make([]byte, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = r.Encode(buf[:0])
+	}
+}
+
+func BenchmarkRecordDecode(b *testing.B) {
+	r := Record{Tag: TagRelWrite, Txn: 12345, PID: addr.PartitionID{Segment: 3, Part: 9}, Slot: 17, Off: 8, Data: make([]byte, 16)}
+	enc := r.Encode(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

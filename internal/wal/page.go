@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/simdisk"
+)
+
+// Page is one partition-bin log page as flushed from the Stable Log
+// Tail to the log disk (§2.3.3, §2.3.4). Each page carries:
+//
+//   - the Partition Address, attached to every page as a consistency
+//     check during recovery and to let archive recovery locate a
+//     partition's pages;
+//   - Prev, chaining a partition's log pages from newest to oldest;
+//   - optionally an embedded log page directory: when the in-SLT
+//     directory fills (N entries), its contents are stored in the next
+//     log page written ("the directory will be stored in every Nth log
+//     page"), so that recovery can schedule page reads in original
+//     write order instead of walking the whole backward chain first;
+//   - the concatenated record encodings.
+type Page struct {
+	PID     addr.PartitionID
+	Prev    simdisk.LSN   // previous log page of this partition, NilLSN if first
+	Dir     []simdisk.LSN // embedded directory of older pages (oldest first)
+	DirPrev simdisk.LSN   // previous directory-carrying page, NilLSN if none
+	Records []byte        // concatenated record encodings
+}
+
+// pageHeaderSize is the fixed page header:
+// seg(4) part(4) prev(8) dirPrev(8) dirLen(2) recLen(4).
+const pageHeaderSize = 4 + 4 + 8 + 8 + 2 + 4
+
+// EncodedSize returns the byte size of the encoded page.
+func (p *Page) EncodedSize() int {
+	return pageHeaderSize + 8*len(p.Dir) + len(p.Records)
+}
+
+// Encode serialises the page for the log disk.
+func (p *Page) Encode() []byte {
+	out := make([]byte, 0, p.EncodedSize())
+	var h [pageHeaderSize]byte
+	binary.LittleEndian.PutUint32(h[0:], uint32(p.PID.Segment))
+	binary.LittleEndian.PutUint32(h[4:], uint32(p.PID.Part))
+	binary.LittleEndian.PutUint64(h[8:], uint64(p.Prev))
+	binary.LittleEndian.PutUint64(h[16:], uint64(p.DirPrev))
+	binary.LittleEndian.PutUint16(h[24:], uint16(len(p.Dir)))
+	binary.LittleEndian.PutUint32(h[26:], uint32(len(p.Records)))
+	out = append(out, h[:]...)
+	for _, l := range p.Dir {
+		var e [8]byte
+		binary.LittleEndian.PutUint64(e[:], uint64(l))
+		out = append(out, e[:]...)
+	}
+	return append(out, p.Records...)
+}
+
+// DecodePage parses a log page read back from the log disk or tape.
+func DecodePage(buf []byte) (*Page, error) {
+	if len(buf) < pageHeaderSize {
+		return nil, fmt.Errorf("%w: truncated page header", ErrCorrupt)
+	}
+	p := &Page{}
+	p.PID.Segment = addr.SegmentID(binary.LittleEndian.Uint32(buf[0:]))
+	p.PID.Part = addr.PartitionNum(binary.LittleEndian.Uint32(buf[4:]))
+	p.Prev = simdisk.LSN(binary.LittleEndian.Uint64(buf[8:]))
+	p.DirPrev = simdisk.LSN(binary.LittleEndian.Uint64(buf[16:]))
+	dirLen := int(binary.LittleEndian.Uint16(buf[24:]))
+	recLen := int(binary.LittleEndian.Uint32(buf[26:]))
+	rest := buf[pageHeaderSize:]
+	if len(rest) < 8*dirLen+recLen {
+		return nil, fmt.Errorf("%w: page body %d bytes, want %d", ErrCorrupt, len(rest), 8*dirLen+recLen)
+	}
+	for i := 0; i < dirLen; i++ {
+		p.Dir = append(p.Dir, simdisk.LSN(binary.LittleEndian.Uint64(rest[8*i:])))
+	}
+	p.Records = rest[8*dirLen : 8*dirLen+recLen : 8*dirLen+recLen]
+	return p, nil
+}
+
+// CheckPID verifies the page's partition-address consistency check.
+func (p *Page) CheckPID(want addr.PartitionID) error {
+	if p.PID != want {
+		return fmt.Errorf("%w: page belongs to %v, want %v", ErrCorrupt, p.PID, want)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+// Package wal defines the REDO log record and log page formats of
+// §2.3.2. Every log record has four main parts — TAG, Bin Index,
+// Transaction Id, and Operation — and corresponds to exactly one entity
+// in exactly one partition: a relation tuple or an index structure
+// component (a T-Tree node or Modified Linear Hash node).
+//
+// Relation records are operation records for a partition (the string
+// space is heap-managed, not two-phase locked), and index records
+// specify partition-specific REDO operations on index components; a
+// single index update may produce several records, one per updated
+// component.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mmdb/internal/addr"
+)
+
+// Tag identifies the type and operation of a log record.
+type Tag uint8
+
+// Log record tags. Relation and index operations are physically alike
+// (both mutate one entity in one partition) but carry distinct tags, as
+// in the paper, so that replay and auditing can distinguish them.
+const (
+	TagInvalid Tag = iota
+
+	// Relation tuple operations.
+	TagRelInsert // insert tuple bytes at slot
+	TagRelDelete // delete tuple at slot
+	TagRelUpdate // replace tuple bytes at slot
+	TagRelWrite  // overwrite bytes within tuple at slot+offset
+
+	// Index component operations (T-Tree nodes, hash nodes).
+	TagIdxInsert // insert node bytes at slot
+	TagIdxDelete // delete node at slot
+	TagIdxUpdate // replace node bytes at slot
+	TagIdxWrite  // overwrite bytes within node at slot+offset
+
+	// Partition lifecycle.
+	TagPartAlloc // partition came into existence (empty image)
+	TagPartFree  // partition discarded
+
+	tagMax
+)
+
+var tagNames = [...]string{
+	TagInvalid:   "invalid",
+	TagRelInsert: "rel-insert",
+	TagRelDelete: "rel-delete",
+	TagRelUpdate: "rel-update",
+	TagRelWrite:  "rel-write",
+	TagIdxInsert: "idx-insert",
+	TagIdxDelete: "idx-delete",
+	TagIdxUpdate: "idx-update",
+	TagIdxWrite:  "idx-write",
+	TagPartAlloc: "part-alloc",
+	TagPartFree:  "part-free",
+}
+
+func (t Tag) String() string {
+	if int(t) < len(tagNames) && tagNames[t] != "" {
+		return tagNames[t]
+	}
+	return fmt.Sprintf("tag(%d)", uint8(t))
+}
+
+// Valid reports whether t is a defined record tag.
+func (t Tag) Valid() bool { return t > TagInvalid && t < tagMax }
+
+// ErrCorrupt reports a malformed record or page encoding.
+var ErrCorrupt = errors.New("wal: corrupt encoding")
+
+// BinIndex is the direct index into the partition bin table in the
+// Stable Log Tail where a record will be relocated by the recovery CPU.
+type BinIndex uint32
+
+// NoBin marks a record whose bin index has not been assigned.
+const NoBin BinIndex = 0xFFFFFFFF
+
+// Record is one REDO log record.
+type Record struct {
+	Tag  Tag
+	Bin  BinIndex // direct index into the partition bin table
+	Txn  uint64   // transaction identifier
+	PID  addr.PartitionID
+	Slot addr.Slot
+	Off  uint16 // intra-entity offset, for TagRelWrite / TagIdxWrite
+	Data []byte // operation payload
+}
+
+// Entity returns the full address of the entity the record refers to.
+func (r *Record) Entity() addr.EntityAddr {
+	return addr.EntityAddr{Segment: r.PID.Segment, Part: r.PID.Part, Slot: r.Slot}
+}
+
+// Records use a compact variable-length encoding — the paper notes
+// that typical log records are only 8 to 24 bytes, and that redundant
+// address information is condensed; small identifiers cost one byte
+// each. Layout: tag(1), then uvarints for bin+1 (NoBin encodes as 0),
+// txn, segment, partition, slot, offset, and payload length, followed
+// by the payload.
+//
+// EncodedSize returns the number of bytes Encode will produce.
+func (r *Record) EncodedSize() int {
+	n := 1
+	binv := uint64(r.Bin) + 1
+	if r.Bin == NoBin {
+		binv = 0
+	}
+	n += uvarintLen(binv)
+	n += uvarintLen(r.Txn)
+	n += uvarintLen(uint64(r.PID.Segment))
+	n += uvarintLen(uint64(r.PID.Part))
+	n += uvarintLen(uint64(r.Slot))
+	n += uvarintLen(uint64(r.Off))
+	n += uvarintLen(uint64(len(r.Data)))
+	return n + len(r.Data)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Encode appends the record's encoding to dst and returns the result.
+func (r *Record) Encode(dst []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	dst = append(dst, byte(r.Tag))
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		dst = append(dst, tmp[:n]...)
+	}
+	binv := uint64(r.Bin) + 1
+	if r.Bin == NoBin {
+		binv = 0
+	}
+	put(binv)
+	put(r.Txn)
+	put(uint64(r.PID.Segment))
+	put(uint64(r.PID.Part))
+	put(uint64(r.Slot))
+	put(uint64(r.Off))
+	put(uint64(len(r.Data)))
+	return append(dst, r.Data...)
+}
+
+// Decode parses one record from the front of buf, returning the record
+// and the number of bytes consumed. The record's Data aliases buf.
+func Decode(buf []byte) (Record, int, error) {
+	if len(buf) < 1 {
+		return Record{}, 0, fmt.Errorf("%w: empty record", ErrCorrupt)
+	}
+	var r Record
+	r.Tag = Tag(buf[0])
+	if !r.Tag.Valid() {
+		return Record{}, 0, fmt.Errorf("%w: bad tag %d", ErrCorrupt, buf[0])
+	}
+	pos := 1
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated record header", ErrCorrupt)
+		}
+		pos += n
+		return v, nil
+	}
+	var v uint64
+	var err error
+	if v, err = get(); err != nil {
+		return Record{}, 0, err
+	}
+	if v == 0 {
+		r.Bin = NoBin
+	} else {
+		r.Bin = BinIndex(uint32(v - 1))
+	}
+	if r.Txn, err = get(); err != nil {
+		return Record{}, 0, err
+	}
+	if v, err = get(); err != nil {
+		return Record{}, 0, err
+	}
+	r.PID.Segment = addr.SegmentID(v)
+	if v, err = get(); err != nil {
+		return Record{}, 0, err
+	}
+	r.PID.Part = addr.PartitionNum(v)
+	if v, err = get(); err != nil {
+		return Record{}, 0, err
+	}
+	r.Slot = addr.Slot(v)
+	if v, err = get(); err != nil {
+		return Record{}, 0, err
+	}
+	r.Off = uint16(v)
+	if v, err = get(); err != nil {
+		return Record{}, 0, err
+	}
+	dlen := int(v)
+	if dlen < 0 || len(buf) < pos+dlen {
+		return Record{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrCorrupt, len(buf)-pos, dlen)
+	}
+	if dlen > 0 {
+		r.Data = buf[pos : pos+dlen : pos+dlen]
+	}
+	return r, pos + dlen, nil
+}
+
+// DecodeAll parses a concatenation of records, as stored in SLB blocks
+// and log pages.
+func DecodeAll(buf []byte) ([]Record, error) {
+	var out []Record
+	for len(buf) > 0 {
+		r, n, err := Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		buf = buf[n:]
+	}
+	return out, nil
+}

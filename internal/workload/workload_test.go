@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUniformBounds(t *testing.T) {
+	u := Uniform{N: 100, Rng: rand.New(rand.NewSource(1))}
+	for i := 0; i < 10000; i++ {
+		k := u.Next()
+		if k < 0 || k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestHotColdSkew(t *testing.T) {
+	h := HotCold{N: 1000, Hot: 10, HotProb: 0.9, Rng: rand.New(rand.NewSource(2))}
+	hot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := h.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k < 10 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(3)), 1.5, 1000)
+	counts := make(map[int64]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := z.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	if counts[0] < counts[500]*5 {
+		t.Fatalf("no skew: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+}
+
+func TestDebitCreditShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ops := DebitCredit(Uniform{N: 100, Rng: rng}, 10, 2, rng, 500)
+	if len(ops) != 500 {
+		t.Fatalf("%d ops", len(ops))
+	}
+	for _, op := range ops {
+		if op.Kind != OpDebitCredit {
+			t.Fatalf("kind %v", op.Kind)
+		}
+		if op.Teller < 0 || op.Teller >= 10 || op.Branch < 0 || op.Branch >= 2 {
+			t.Fatalf("teller/branch out of range: %+v", op)
+		}
+	}
+}
+
+func TestMixedPercentages(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ops := Mixed(Uniform{N: 100, Rng: rng}, rng, 20000, 30, 40, 10)
+	var ins, upd, del, look int
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			ins++
+		case OpUpdate:
+			upd++
+		case OpDelete:
+			del++
+		case OpLookup:
+			look++
+		}
+	}
+	tot := float64(len(ops))
+	if f := float64(ins) / tot; f < 0.27 || f > 0.33 {
+		t.Fatalf("insert frac %.3f", f)
+	}
+	if f := float64(upd) / tot; f < 0.37 || f > 0.43 {
+		t.Fatalf("update frac %.3f", f)
+	}
+	if f := float64(del) / tot; f < 0.08 || f > 0.12 {
+		t.Fatalf("delete frac %.3f", f)
+	}
+	if f := float64(look) / tot; f < 0.17 || f > 0.23 {
+		t.Fatalf("lookup frac %.3f", f)
+	}
+}
+
+func TestRecordStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	recs := RecordStream(rng, 1000, 16, 8, nil, 4)
+	if len(recs) != 1000 {
+		t.Fatalf("%d records", len(recs))
+	}
+	parts := map[uint32]bool{}
+	txns := map[uint64]int{}
+	for i := range recs {
+		if len(recs[i].Data) != 16 {
+			t.Fatalf("payload %d", len(recs[i].Data))
+		}
+		parts[uint32(recs[i].PID.Part)] = true
+		txns[recs[i].Txn]++
+	}
+	if len(parts) < 4 {
+		t.Fatalf("records spread over %d partitions", len(parts))
+	}
+	if len(txns) != 250 {
+		t.Fatalf("%d transactions for 1000 records at 4/txn", len(txns))
+	}
+	for id, n := range txns {
+		if n != 4 {
+			t.Fatalf("txn %d has %d records", id, n)
+		}
+	}
+}

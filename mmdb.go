@@ -1,0 +1,478 @@
+// Package mmdb is a memory-resident relational database with the
+// recovery architecture of Lehman & Carey, "A Recovery Algorithm for a
+// High-Performance Memory-Resident Database System" (SIGMOD 1987):
+//
+//   - the primary copy of the database lives entirely in (volatile)
+//     main memory, organised as per-object segments of fixed-size
+//     partitions;
+//   - transactions commit instantly by placing REDO records in a
+//     stable-reliable-memory log buffer; UNDO stays volatile;
+//   - a dedicated recovery processor groups committed log records into
+//     per-partition bins in a stable log tail and writes full bin pages
+//     to duplexed log disks;
+//   - checkpoints are per-partition, triggered by update count or by
+//     age as the log window advances, amortising their cost over a
+//     controlled number of updates;
+//   - after a crash, the system catalogs are restored first and
+//     transaction processing resumes immediately; partitions are then
+//     recovered on demand, with a background sweep restoring the rest.
+//
+// The stable memory, dual processors, and disk hardware are simulated
+// (see DESIGN.md for the substitutions); DB.Crash returns the
+// crash-surviving hardware and Recover rebuilds a database from it.
+package mmdb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/catalog"
+	"mmdb/internal/core"
+	"mmdb/internal/heap"
+	"mmdb/internal/lock"
+	"mmdb/internal/mm"
+	"mmdb/internal/simdisk"
+	"mmdb/internal/txn"
+)
+
+// Config is the recovery-architecture configuration; see
+// core.DefaultConfig for the paper's Table 2 environment.
+type Config = core.Config
+
+// DefaultConfig returns the paper's environment.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Stats exposes recovery-component counters.
+type Stats = core.Stats
+
+// Hardware is the crash-surviving hardware bundle.
+type Hardware = core.Hardware
+
+// Errors returned by the facade.
+var (
+	ErrExists   = errors.New("mmdb: object already exists")
+	ErrNotFound = errors.New("mmdb: not found")
+	ErrClosed   = errors.New("mmdb: database closed")
+)
+
+// DB is a memory-resident database instance.
+type DB struct {
+	cfg   Config
+	mgr   *core.Manager
+	store *mm.Store
+	locks *lock.Manager
+
+	ddlMu sync.Mutex // serialises DDL
+
+	mu          sync.RWMutex
+	rels        map[string]*Relation
+	relByID     map[uint64]*Relation
+	segOwner    map[addr.SegmentID]uint64 // any segment -> owning relation ID
+	relDescAddr map[uint64]addr.EntityAddr
+	idxDescAddr map[uint64]addr.EntityAddr
+	closed      bool
+}
+
+// Open creates a fresh database on newly provisioned hardware.
+func Open(cfg Config) (*DB, error) {
+	hw := core.NewHardware(cfg)
+	store := mm.NewStore(cfg.PartitionSize)
+	locks := lock.NewManager()
+	mgr, err := core.New(hw, cfg, store, locks)
+	if err != nil {
+		return nil, err
+	}
+	db := newDB(cfg, mgr, store, locks)
+	store.EnsureSegment(addr.SegRelationCatalog)
+	store.EnsureSegment(addr.SegIndexCatalog)
+	db.wire()
+	mgr.Start()
+	return db, nil
+}
+
+func newDB(cfg Config, mgr *core.Manager, store *mm.Store, locks *lock.Manager) *DB {
+	return &DB{
+		cfg:         cfg,
+		mgr:         mgr,
+		store:       store,
+		locks:       locks,
+		rels:        make(map[string]*Relation),
+		relByID:     make(map[uint64]*Relation),
+		segOwner:    map[addr.SegmentID]uint64{addr.SegRelationCatalog: catalog.RelIDRelationCatalog, addr.SegIndexCatalog: catalog.RelIDIndexCatalog},
+		relDescAddr: make(map[uint64]addr.EntityAddr),
+		idxDescAddr: make(map[uint64]addr.EntityAddr),
+	}
+}
+
+// wire installs the recovery component's catalog callbacks and the
+// partition-allocation hook.
+func (db *DB) wire() {
+	db.mgr.SetCallbacks(core.Callbacks{
+		OwnerRel:      db.ownerRel,
+		InstallCkpt:   db.installCkpt,
+		Locate:        db.locate,
+		AllPartitions: db.allPartitions,
+	})
+	db.mgr.Txns.OnPartAlloc = db.onPartAlloc
+	db.store.SetResolve(func(pid addr.PartitionID) (*mm.Partition, error) {
+		track, err := db.locate(pid)
+		if err != nil {
+			return nil, err
+		}
+		return db.mgr.RecoverPartition(pid, track)
+	})
+}
+
+// ownerRel maps a partition to the relation whose read lock makes it
+// transaction-consistent.
+func (db *DB) ownerRel(pid addr.PartitionID) (uint64, bool) {
+	if pid.Segment == addr.SegRelationCatalog || pid.Segment == addr.SegIndexCatalog {
+		return uint64(pid.Segment), true
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	relID, ok := db.segOwner[pid.Segment]
+	return relID, ok
+}
+
+// onPartAlloc records a freshly allocated partition: catalog partitions
+// go into the stable root; object partitions go into their owner's
+// catalog descriptor (a logged update inside the allocating txn).
+func (db *DB) onPartAlloc(t *txn.Txn, pid addr.PartitionID) error {
+	switch pid.Segment {
+	case addr.SegRelationCatalog, addr.SegIndexCatalog:
+		db.mgr.AddCatalogPart(pid)
+		return nil
+	}
+	_, err := db.updateOwnerDesc(t, pid, func(parts []catalog.PartState) []catalog.PartState {
+		return append(parts, catalog.PartState{Part: pid.Part, Track: simdisk.NilTrack})
+	})
+	return err
+}
+
+// installCkpt performs the logged catalog update for a completed
+// checkpoint image write, returning the superseded track.
+func (db *DB) installCkpt(t *txn.Txn, pid addr.PartitionID, track simdisk.TrackLoc) (simdisk.TrackLoc, error) {
+	switch pid.Segment {
+	case addr.SegRelationCatalog, addr.SegIndexCatalog:
+		// Catalog partitions are recorded in the stable root, which
+		// the recovery component updates at commit time itself.
+		return db.mgr.LocateCatalogPart(pid), nil
+	}
+	old := simdisk.NilTrack
+	_, err := db.updateOwnerDesc(t, pid, func(parts []catalog.PartState) []catalog.PartState {
+		for i := range parts {
+			if parts[i].Part == pid.Part {
+				old = parts[i].Track
+				parts[i].Track = track
+			}
+		}
+		return parts
+	})
+	return old, err
+}
+
+// updateOwnerDesc applies fn to the partition list of the catalog
+// descriptor owning pid's segment, with proper catalog locking, inside
+// transaction t.
+func (db *DB) updateOwnerDesc(t *txn.Txn, pid addr.PartitionID, fn func([]catalog.PartState) []catalog.PartState) (addr.EntityAddr, error) {
+	db.mu.RLock()
+	relID, ok := db.segOwner[pid.Segment]
+	rel := db.relByID[relID]
+	db.mu.RUnlock()
+	if !ok || rel == nil {
+		return addr.Nil, fmt.Errorf("%w: no owner for segment %d", ErrNotFound, pid.Segment)
+	}
+	if pid.Segment == rel.seg {
+		// Relation data partition: update the relation descriptor.
+		db.mu.RLock()
+		da, ok := db.relDescAddr[relID]
+		db.mu.RUnlock()
+		if !ok {
+			return addr.Nil, fmt.Errorf("%w: relation descriptor for %d", ErrNotFound, relID)
+		}
+		if err := t.LockRelation(catalog.RelIDRelationCatalog, lock.IX); err != nil {
+			return addr.Nil, err
+		}
+		if err := t.LockEntity(da, lock.X); err != nil {
+			return addr.Nil, err
+		}
+		raw, err := t.ReadEntity(da)
+		if err != nil {
+			return addr.Nil, err
+		}
+		desc, err := catalog.DecodeRelation(raw)
+		if err != nil {
+			return addr.Nil, err
+		}
+		desc.Parts = fn(desc.Parts)
+		return da, t.UpdateEntity(da, false, desc.Encode())
+	}
+	// Index partition: update the index descriptor.
+	idx := rel.indexBySeg(pid.Segment)
+	if idx == nil {
+		return addr.Nil, fmt.Errorf("%w: no index for segment %d", ErrNotFound, pid.Segment)
+	}
+	db.mu.RLock()
+	da, ok := db.idxDescAddr[idx.idxID]
+	db.mu.RUnlock()
+	if !ok {
+		return addr.Nil, fmt.Errorf("%w: index descriptor for %d", ErrNotFound, idx.idxID)
+	}
+	if err := t.LockRelation(catalog.RelIDIndexCatalog, lock.IX); err != nil {
+		return addr.Nil, err
+	}
+	if err := t.LockEntity(da, lock.X); err != nil {
+		return addr.Nil, err
+	}
+	raw, err := t.ReadEntity(da)
+	if err != nil {
+		return addr.Nil, err
+	}
+	desc, err := catalog.DecodeIndex(raw)
+	if err != nil {
+		return addr.Nil, err
+	}
+	desc.Parts = fn(desc.Parts)
+	return da, t.UpdateEntity(da, false, desc.Encode())
+}
+
+// locate returns a partition's checkpoint image location.
+func (db *DB) locate(pid addr.PartitionID) (simdisk.TrackLoc, error) {
+	switch pid.Segment {
+	case addr.SegRelationCatalog, addr.SegIndexCatalog:
+		return db.mgr.LocateCatalogPart(pid), nil
+	}
+	db.mu.RLock()
+	relID, ok := db.segOwner[pid.Segment]
+	rel := db.relByID[relID]
+	db.mu.RUnlock()
+	if !ok || rel == nil {
+		return simdisk.NilTrack, fmt.Errorf("%w: partition %v has no owner", ErrNotFound, pid)
+	}
+	parts, err := db.partsOfSegment(rel, pid.Segment)
+	if err != nil {
+		return simdisk.NilTrack, err
+	}
+	for _, ps := range parts {
+		if ps.Part == pid.Part {
+			return ps.Track, nil
+		}
+	}
+	return simdisk.NilTrack, fmt.Errorf("%w: partition %v not in catalog", ErrNotFound, pid)
+}
+
+// partsOfSegment reads the authoritative partition list for a segment
+// from the catalog bytes.
+func (db *DB) partsOfSegment(rel *Relation, seg addr.SegmentID) ([]catalog.PartState, error) {
+	rp := txn.ReadPager{Store: db.store}
+	if seg == rel.seg {
+		db.mu.RLock()
+		da := db.relDescAddr[rel.relID]
+		db.mu.RUnlock()
+		raw, err := rp.Read(da)
+		if err != nil {
+			return nil, err
+		}
+		desc, err := catalog.DecodeRelation(raw)
+		if err != nil {
+			return nil, err
+		}
+		return desc.Parts, nil
+	}
+	idx := rel.indexBySeg(seg)
+	if idx == nil {
+		return nil, fmt.Errorf("%w: segment %d", ErrNotFound, seg)
+	}
+	db.mu.RLock()
+	da := db.idxDescAddr[idx.idxID]
+	db.mu.RUnlock()
+	raw, err := rp.Read(da)
+	if err != nil {
+		return nil, err
+	}
+	desc, err := catalog.DecodeIndex(raw)
+	if err != nil {
+		return nil, err
+	}
+	return desc.Parts, nil
+}
+
+// allPartitions enumerates every partition known to the catalogs, for
+// the background recovery sweep.
+func (db *DB) allPartitions() ([]addr.PartitionID, error) {
+	var out []addr.PartitionID
+	root := db.mgr.RootCopy()
+	for _, ps := range root.RelCatParts {
+		out = append(out, addr.PartitionID{Segment: addr.SegRelationCatalog, Part: ps.Part})
+	}
+	for _, ps := range root.IdxCatParts {
+		out = append(out, addr.PartitionID{Segment: addr.SegIndexCatalog, Part: ps.Part})
+	}
+	db.mu.RLock()
+	rels := make([]*Relation, 0, len(db.relByID))
+	for _, r := range db.relByID {
+		rels = append(rels, r)
+	}
+	db.mu.RUnlock()
+	for _, rel := range rels {
+		parts, err := db.partsOfSegment(rel, rel.seg)
+		if err != nil {
+			return nil, err
+		}
+		for _, ps := range parts {
+			out = append(out, addr.PartitionID{Segment: rel.seg, Part: ps.Part})
+		}
+		for _, idx := range rel.Indexes() {
+			iparts, err := db.partsOfSegment(rel, idx.seg)
+			if err != nil {
+				return nil, err
+			}
+			for _, ps := range iparts {
+				out = append(out, addr.PartitionID{Segment: idx.seg, Part: ps.Part})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Close stops the recovery component gracefully after reaching a
+// quiescent stable state.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.closed = true
+	db.mu.Unlock()
+	db.mgr.WaitIdle()
+	db.mgr.Stop()
+	return nil
+}
+
+// Crash simulates a system failure: both CPUs halt and every volatile
+// structure — the primary memory-resident database, lock tables, undo
+// space, catalog caches — is lost. The returned Hardware (stable
+// memory, disks, tape) is all that survives; pass it to Recover.
+//
+// The DB is unusable afterwards.
+func (db *DB) Crash() *Hardware {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+	db.mgr.Stop()
+	return db.mgr.Hardware()
+}
+
+// Recover rebuilds a database from crash-surviving hardware, following
+// §2.5: restore the catalogs from the well-known root, resume
+// transaction processing immediately, and recover data partitions on
+// demand (plus a background sweep when cfg.BackgroundRecovery is set).
+func Recover(hw *Hardware, cfg Config) (*DB, error) {
+	store := mm.NewStore(cfg.PartitionSize)
+	locks := lock.NewManager()
+	mgr, err := core.New(hw, cfg, store, locks)
+	if err != nil {
+		return nil, err
+	}
+	db := newDB(cfg, mgr, store, locks)
+	// Restart needs no catalog callbacks: catalog locations come from
+	// the stable root.
+	if _, err := mgr.Restart(); err != nil {
+		return nil, err
+	}
+	if err := db.loadCatalogs(); err != nil {
+		return nil, err
+	}
+	db.wire()
+	mgr.Resume()
+	mgr.Start()
+	return db, nil
+}
+
+// loadCatalogs rebuilds the volatile catalog maps by scanning the
+// restored catalog partitions.
+func (db *DB) loadCatalogs() error {
+	// Relations first.
+	for _, p := range db.store.Partitions(addr.SegRelationCatalog) {
+		var scanErr error
+		p.Slots(func(s addr.Slot, data []byte) bool {
+			desc, err := catalog.DecodeRelation(data)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			rel := &Relation{
+				db:     db,
+				relID:  desc.RelID,
+				name:   desc.Name,
+				seg:    desc.Seg,
+				schema: append(heap.Schema(nil), desc.Schema...),
+			}
+			da := addr.EntityAddr{Segment: addr.SegRelationCatalog, Part: p.ID().Part, Slot: s}
+			db.rels[desc.Name] = rel
+			db.relByID[desc.RelID] = rel
+			db.segOwner[desc.Seg] = desc.RelID
+			db.relDescAddr[desc.RelID] = da
+			db.store.EnsureSegment(desc.Seg)
+			for _, ps := range desc.Parts {
+				db.mgr.MarkTrackUsed(ps.Track)
+			}
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	// Then indexes.
+	for _, p := range db.store.Partitions(addr.SegIndexCatalog) {
+		var scanErr error
+		p.Slots(func(s addr.Slot, data []byte) bool {
+			desc, err := catalog.DecodeIndex(data)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			rel := db.relByID[desc.RelID]
+			if rel == nil {
+				scanErr = fmt.Errorf("mmdb: index %q references missing relation %d", desc.Name, desc.RelID)
+				return false
+			}
+			idx := &Index{
+				rel:    rel,
+				idxID:  desc.IdxID,
+				name:   desc.Name,
+				seg:    desc.Seg,
+				kind:   desc.Kind,
+				col:    desc.Column,
+				order:  desc.Order,
+				header: desc.Header,
+			}
+			da := addr.EntityAddr{Segment: addr.SegIndexCatalog, Part: p.ID().Part, Slot: s}
+			rel.indexes = append(rel.indexes, idx)
+			db.segOwner[desc.Seg] = desc.RelID
+			db.idxDescAddr[desc.IdxID] = da
+			db.store.EnsureSegment(desc.Seg)
+			for _, ps := range desc.Parts {
+				db.mgr.MarkTrackUsed(ps.Track)
+			}
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	return nil
+}
+
+// Stats returns recovery-component counters.
+func (db *DB) Stats() Stats { return db.mgr.Stats() }
+
+// Manager exposes the recovery component (benchmarks, tools).
+func (db *DB) Manager() *core.Manager { return db.mgr }
+
+// WaitIdle blocks until the recovery component is quiescent.
+func (db *DB) WaitIdle() { db.mgr.WaitIdle() }

@@ -1,0 +1,528 @@
+package mmdb
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/catalog"
+	"mmdb/internal/heap"
+	"mmdb/internal/linhash"
+	"mmdb/internal/lock"
+	"mmdb/internal/ttree"
+	"mmdb/internal/txn"
+)
+
+// Relation is a handle to a stored relation. Every relation occupies
+// its own logical segment of fixed-size partitions.
+type Relation struct {
+	db     *DB
+	relID  uint64
+	name   string
+	seg    addr.SegmentID
+	schema heap.Schema
+
+	idxMu   sync.RWMutex
+	indexes []*Index
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// ID returns the relation identifier.
+func (r *Relation) ID() uint64 { return r.relID }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() heap.Schema { return r.schema }
+
+// Segment returns the relation's segment ID.
+func (r *Relation) Segment() addr.SegmentID { return r.seg }
+
+// Indexes returns the relation's indexes.
+func (r *Relation) Indexes() []*Index {
+	r.idxMu.RLock()
+	defer r.idxMu.RUnlock()
+	return append([]*Index(nil), r.indexes...)
+}
+
+// Index returns the named index, or nil.
+func (r *Relation) Index(name string) *Index {
+	r.idxMu.RLock()
+	defer r.idxMu.RUnlock()
+	for _, i := range r.indexes {
+		if i.name == name {
+			return i
+		}
+	}
+	return nil
+}
+
+func (r *Relation) indexBySeg(seg addr.SegmentID) *Index {
+	r.idxMu.RLock()
+	defer r.idxMu.RUnlock()
+	for _, i := range r.indexes {
+		if i.seg == seg {
+			return i
+		}
+	}
+	return nil
+}
+
+func (r *Relation) addIndex(i *Index) {
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
+	r.indexes = append(r.indexes, i)
+}
+
+func (r *Relation) removeIndex(i *Index) {
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
+	for j, x := range r.indexes {
+		if x == i {
+			r.indexes = append(r.indexes[:j], r.indexes[j+1:]...)
+			return
+		}
+	}
+}
+
+// Index is a handle to a T-Tree or Modified Linear Hash index on one
+// relation column. Index nodes live in the index's own segment.
+type Index struct {
+	rel    *Relation
+	idxID  uint64
+	name   string
+	seg    addr.SegmentID
+	kind   catalog.IndexKind
+	col    int
+	order  int
+	header addr.EntityAddr
+
+	// latch serialises structure readers against in-flight node
+	// mutations; transaction-level isolation comes from the per-index
+	// writer lock held to commit.
+	latch sync.RWMutex
+}
+
+// Name returns the index name.
+func (i *Index) Name() string { return i.name }
+
+// Kind returns the index structure kind.
+func (i *Index) Kind() catalog.IndexKind { return i.kind }
+
+// Column returns the indexed column position.
+func (i *Index) Column() int { return i.col }
+
+// Relation returns the indexed relation.
+func (i *Index) Relation() *Relation { return i.rel }
+
+// keyOfEntry reads the stored tuple behind an index entry and extracts
+// the indexed column (the classic main-memory design: the index stores
+// tuple pointers, comparisons read the tuple).
+func (i *Index) keyOfEntry(p ttree.Pager, entry uint64) (any, error) {
+	raw, err := p.Read(addr.Unpack(entry))
+	if err != nil {
+		return nil, err
+	}
+	tup, err := i.rel.schema.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	return tup[i.col], nil
+}
+
+// compareKeys orders two column values of the indexed type.
+func (i *Index) compareKeys(a, b any) (int, error) {
+	switch i.rel.schema[i.col].Type {
+	case heap.Int64:
+		x, ok1 := a.(int64)
+		y, ok2 := b.(int64)
+		if !ok1 || !ok2 {
+			return 0, fmt.Errorf("mmdb: index %q wants int64 keys, got %T/%T", i.name, a, b)
+		}
+		switch {
+		case x < y:
+			return -1, nil
+		case x > y:
+			return 1, nil
+		}
+		return 0, nil
+	case heap.Float64:
+		x, ok1 := a.(float64)
+		y, ok2 := b.(float64)
+		if !ok1 || !ok2 {
+			return 0, fmt.Errorf("mmdb: index %q wants float64 keys, got %T/%T", i.name, a, b)
+		}
+		switch {
+		case x < y:
+			return -1, nil
+		case x > y:
+			return 1, nil
+		}
+		return 0, nil
+	case heap.String:
+		x, ok1 := a.(string)
+		y, ok2 := b.(string)
+		if !ok1 || !ok2 {
+			return 0, fmt.Errorf("mmdb: index %q wants string keys, got %T/%T", i.name, a, b)
+		}
+		switch {
+		case x < y:
+			return -1, nil
+		case x > y:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("mmdb: index %q has unsupported key type", i.name)
+}
+
+// checkKeyType validates a search key against the indexed column type.
+func (i *Index) checkKeyType(v any) error {
+	if v == nil {
+		return nil // open bound
+	}
+	want := i.rel.schema[i.col].Type
+	ok := false
+	switch v.(type) {
+	case int64:
+		ok = want == heap.Int64
+	case float64:
+		ok = want == heap.Float64
+	case string:
+		ok = want == heap.String
+	}
+	if !ok {
+		return fmt.Errorf("mmdb: index %q wants %v keys, got %T", i.name, want, v)
+	}
+	return nil
+}
+
+// hashKey hashes an indexed column value for the linear hash index.
+func (i *Index) hashKey(v any) (uint64, error) {
+	h := fnv.New64a()
+	switch x := v.(type) {
+	case int64:
+		var b [8]byte
+		for k := 0; k < 8; k++ {
+			b[k] = byte(x >> (8 * k))
+		}
+		_, _ = h.Write(b[:])
+	case float64:
+		bits := math.Float64bits(x)
+		var b [8]byte
+		for k := 0; k < 8; k++ {
+			b[k] = byte(bits >> (8 * k))
+		}
+		_, _ = h.Write(b[:])
+	case string:
+		_, _ = h.Write([]byte(x))
+	default:
+		return 0, fmt.Errorf("mmdb: index %q cannot hash %T", i.name, v)
+	}
+	return h.Sum64(), nil
+}
+
+// tree opens the T-Tree over the given pager.
+func (i *Index) tree(p ttree.Pager) (*ttree.Tree, error) {
+	cmpE := func(a, b uint64) (int, error) {
+		ka, err := i.keyOfEntry(p, a)
+		if err != nil {
+			return 0, err
+		}
+		kb, err := i.keyOfEntry(p, b)
+		if err != nil {
+			return 0, err
+		}
+		c, err := i.compareKeys(ka, kb)
+		if err != nil || c != 0 {
+			return c, err
+		}
+		// Duplicates: total order by address.
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	cmpK := func(key any, e uint64) (int, error) {
+		ke, err := i.keyOfEntry(p, e)
+		if err != nil {
+			return 0, err
+		}
+		return i.compareKeys(key, ke)
+	}
+	return ttree.Open(p, i.header, cmpE, cmpK)
+}
+
+// table opens the linear hash table over the given pager.
+func (i *Index) table(p linhash.Pager) (*linhash.Table, error) {
+	hash := func(e uint64) (uint64, error) {
+		k, err := i.keyOfEntry(p, e)
+		if err != nil {
+			return 0, err
+		}
+		return i.hashKey(k)
+	}
+	match := func(key any, e uint64) (bool, error) {
+		k, err := i.keyOfEntry(p, e)
+		if err != nil {
+			return false, err
+		}
+		c, err := i.compareKeys(key, k)
+		return c == 0, err
+	}
+	return linhash.Open(p, i.header, hash, match)
+}
+
+// CreateRelation creates a relation with the given schema. DDL is
+// serialised and runs in its own transaction.
+func (db *DB) CreateRelation(name string, schema heap.Schema) (*Relation, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	db.mu.RLock()
+	_, dup := db.rels[name]
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if dup {
+		return nil, fmt.Errorf("%w: relation %q", ErrExists, name)
+	}
+
+	relID := db.mgr.AllocRelID()
+	seg := db.mgr.AllocSegID()
+	db.store.EnsureSegment(seg)
+
+	desc := &catalog.RelationDesc{RelID: relID, Name: name, Seg: seg, Schema: schema}
+	t := db.mgr.Txns.Begin()
+	if err := t.LockRelation(catalog.RelIDRelationCatalog, lock.IX); err != nil {
+		_ = t.Abort()
+		return nil, err
+	}
+	da, err := t.InsertEntity(addr.SegRelationCatalog, false, desc.Encode())
+	if err != nil {
+		_ = t.Abort()
+		return nil, err
+	}
+	if err := t.Commit(); err != nil {
+		_ = t.Abort()
+		return nil, err
+	}
+
+	rel := &Relation{db: db, relID: relID, name: name, seg: seg, schema: append(heap.Schema(nil), schema...)}
+	db.mu.Lock()
+	db.rels[name] = rel
+	db.relByID[relID] = rel
+	db.segOwner[seg] = relID
+	db.relDescAddr[relID] = da
+	db.mu.Unlock()
+	return rel, nil
+}
+
+// GetRelation returns the named relation.
+func (db *DB) GetRelation(name string) (*Relation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rel, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: relation %q", ErrNotFound, name)
+	}
+	return rel, nil
+}
+
+// Relations lists relation names.
+func (db *DB) Relations() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	return out
+}
+
+// CreateIndex builds an index of the given kind on one column,
+// populating it from existing tuples. order is the node fan-out (0 for
+// a default).
+func (db *DB) CreateIndex(rel *Relation, name string, column string, kind catalog.IndexKind, order int) (*Index, error) {
+	if order <= 0 {
+		order = 16
+	}
+	col, err := rel.schema.ColIndex(column)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case catalog.KindTTree, catalog.KindLinHash:
+	default:
+		return nil, fmt.Errorf("mmdb: unknown index kind %v", kind)
+	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	if rel.Index(name) != nil {
+		return nil, fmt.Errorf("%w: index %q", ErrExists, name)
+	}
+
+	idxID := db.mgr.AllocIdxID()
+	seg := db.mgr.AllocSegID()
+	db.store.EnsureSegment(seg)
+	idx := &Index{rel: rel, idxID: idxID, name: name, seg: seg, kind: kind, col: col, order: order}
+
+	t := db.mgr.Txns.Begin()
+	rollback := func(err error) (*Index, error) {
+		_ = t.Abort()
+		db.mu.Lock()
+		delete(db.idxDescAddr, idxID)
+		delete(db.segOwner, seg)
+		db.mu.Unlock()
+		rel.removeIndex(idx)
+		return nil, err
+	}
+	// Lock out writers of the relation while the index is built.
+	if err := t.LockRelation(rel.relID, lock.S); err != nil {
+		return rollback(err)
+	}
+	if err := t.LockRelation(catalog.RelIDIndexCatalog, lock.IX); err != nil {
+		return rollback(err)
+	}
+	desc := &catalog.IndexDesc{IdxID: idxID, Name: name, RelID: rel.relID, Seg: seg, Kind: kind, Column: col, Order: order}
+	da, err := t.InsertEntity(addr.SegIndexCatalog, false, desc.Encode())
+	if err != nil {
+		return rollback(err)
+	}
+	// Register maps before building: partition allocations during the
+	// build look up the descriptor address.
+	db.mu.Lock()
+	db.idxDescAddr[idxID] = da
+	db.segOwner[seg] = rel.relID
+	db.mu.Unlock()
+	rel.addIndex(idx)
+
+	pager := txn.IndexPager{T: t, Seg: seg}
+	switch kind {
+	case catalog.KindTTree:
+		_, hdr, err := ttree.Create(pager, order, nil, nil)
+		if err != nil {
+			return rollback(err)
+		}
+		idx.header = hdr
+	case catalog.KindLinHash:
+		_, hdr, err := linhash.Create(pager, order, nil, nil)
+		if err != nil {
+			return rollback(err)
+		}
+		idx.header = hdr
+	}
+	// Record the header address in the descriptor.
+	desc.Header = idx.header
+	raw, err := t.ReadEntity(da)
+	if err != nil {
+		return rollback(err)
+	}
+	cur, err := catalog.DecodeIndex(raw)
+	if err != nil {
+		return rollback(err)
+	}
+	cur.Header = idx.header
+	if err := t.UpdateEntity(da, false, cur.Encode()); err != nil {
+		return rollback(err)
+	}
+	// Populate from existing tuples.
+	if err := db.populateIndex(t, idx); err != nil {
+		return rollback(err)
+	}
+	if err := t.Commit(); err != nil {
+		return rollback(err)
+	}
+	return idx, nil
+}
+
+// populateIndex inserts every existing tuple of the relation into the
+// new index, inside the building transaction.
+func (db *DB) populateIndex(t *txn.Txn, idx *Index) error {
+	rel := idx.rel
+	parts, err := db.partsOfSegment(rel, rel.seg)
+	if err != nil {
+		return err
+	}
+	pager := txn.IndexPager{T: t, Seg: idx.seg}
+	for _, ps := range parts {
+		pid := addr.PartitionID{Segment: rel.seg, Part: ps.Part}
+		p, err := db.store.Partition(pid)
+		if err != nil {
+			return err
+		}
+		var slots []addr.Slot
+		p.Latch()
+		p.Slots(func(s addr.Slot, _ []byte) bool {
+			slots = append(slots, s)
+			return true
+		})
+		p.Unlatch()
+		for _, s := range slots {
+			ea := addr.EntityAddr{Segment: rel.seg, Part: ps.Part, Slot: s}
+			if err := idx.insertEntry(pager, ea.Pack()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// insertEntry adds one entry to the index structure (caller holds the
+// index writer lock / build lock and the latch is taken here).
+func (idx *Index) insertEntry(pager txn.IndexPager, entry uint64) error {
+	idx.latch.Lock()
+	defer idx.latch.Unlock()
+	switch idx.kind {
+	case catalog.KindTTree:
+		tr, err := idx.tree(pager)
+		if err != nil {
+			return err
+		}
+		return tr.Insert(entry)
+	case catalog.KindLinHash:
+		tb, err := idx.table(pager)
+		if err != nil {
+			return err
+		}
+		return tb.Insert(entry)
+	}
+	return fmt.Errorf("mmdb: unknown index kind %v", idx.kind)
+}
+
+// deleteEntry removes one entry from the index structure.
+func (idx *Index) deleteEntry(pager txn.IndexPager, entry uint64) error {
+	idx.latch.Lock()
+	defer idx.latch.Unlock()
+	switch idx.kind {
+	case catalog.KindTTree:
+		tr, err := idx.tree(pager)
+		if err != nil {
+			return err
+		}
+		if err := tr.Delete(entry); err != nil && !errors.Is(err, ttree.ErrNotFound) {
+			return err
+		}
+		return nil
+	case catalog.KindLinHash:
+		tb, err := idx.table(pager)
+		if err != nil {
+			return err
+		}
+		if err := tb.Delete(entry); err != nil && !errors.Is(err, linhash.ErrNotFound) {
+			return err
+		}
+		return nil
+	}
+	return fmt.Errorf("mmdb: unknown index kind %v", idx.kind)
+}

@@ -1,0 +1,26 @@
+package mmdb
+
+import "mmdb/internal/heap"
+
+// Schema, Column, Tuple, and the column types are re-exported from the
+// storage layer so that the public API is self-contained.
+
+// Schema is an ordered list of relation columns.
+type Schema = heap.Schema
+
+// Column describes one relation column.
+type Column = heap.Column
+
+// Tuple is a decoded row: one value per schema column (int64, float64,
+// or string).
+type Tuple = heap.Tuple
+
+// ColType is a column's data type.
+type ColType = heap.ColType
+
+// Column types.
+const (
+	Int64   = heap.Int64
+	Float64 = heap.Float64
+	String  = heap.String
+)

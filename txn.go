@@ -1,0 +1,404 @@
+package mmdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/catalog"
+	"mmdb/internal/heap"
+	"mmdb/internal/lock"
+	"mmdb/internal/txn"
+)
+
+// RowID identifies a stored tuple: its entity address.
+type RowID = addr.EntityAddr
+
+// NewRowID builds a RowID from raw segment/partition/slot numbers
+// (tools and tests that print and re-parse row ids).
+func NewRowID(seg, part uint32, slot uint16) RowID {
+	return RowID{Segment: addr.SegmentID(seg), Part: addr.PartitionNum(part), Slot: addr.Slot(slot)}
+}
+
+// ErrDeadlock is returned when a lock request would deadlock; the
+// transaction has not been aborted — the caller decides (typically
+// Abort and retry).
+var ErrDeadlock = lock.ErrDeadlock
+
+// Txn is a user transaction. Not safe for concurrent use by multiple
+// goroutines.
+type Txn struct {
+	db *DB
+	t  *txn.Txn
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn {
+	return &Txn{db: db, t: db.mgr.Txns.Begin()}
+}
+
+// ID returns the transaction identifier.
+func (tx *Txn) ID() uint64 { return tx.t.ID() }
+
+// Commit makes the transaction durable (instantly — its REDO records
+// are already in stable memory) and releases its locks.
+func (tx *Txn) Commit() error { return tx.t.Commit() }
+
+// Abort rolls the transaction back and releases its locks.
+func (tx *Txn) Abort() error { return tx.t.Abort() }
+
+// Records returns the number of REDO log records written so far.
+func (tx *Txn) Records() int { return tx.t.Records() }
+
+// Insert adds a tuple to the relation, maintaining its indexes, and
+// returns the new row's ID.
+func (tx *Txn) Insert(rel *Relation, tuple heap.Tuple) (RowID, error) {
+	enc, err := rel.schema.Encode(tuple)
+	if err != nil {
+		return RowID{}, err
+	}
+	if err := tx.t.LockRelation(rel.relID, lock.IX); err != nil {
+		return RowID{}, err
+	}
+	a, err := tx.t.InsertEntity(rel.seg, false, enc)
+	if err != nil {
+		return RowID{}, err
+	}
+	if err := tx.t.LockEntity(a, lock.X); err != nil {
+		return RowID{}, err
+	}
+	for _, idx := range rel.Indexes() {
+		if err := tx.t.LockIndex(idx.idxID, lock.X); err != nil {
+			return RowID{}, err
+		}
+		if err := idx.insertEntry(txn.IndexPager{T: tx.t, Seg: idx.seg}, a.Pack()); err != nil {
+			return RowID{}, err
+		}
+	}
+	return a, nil
+}
+
+// Get reads a tuple by row ID under a share lock.
+func (tx *Txn) Get(rel *Relation, id RowID) (heap.Tuple, error) {
+	if err := tx.t.LockRelation(rel.relID, lock.IS); err != nil {
+		return nil, err
+	}
+	if err := tx.t.LockEntity(id, lock.S); err != nil {
+		return nil, err
+	}
+	raw, err := tx.t.ReadEntity(id)
+	if err != nil {
+		if errors.Is(err, txn.ErrNotFound) {
+			return nil, fmt.Errorf("%w: row %v", ErrNotFound, id)
+		}
+		return nil, err
+	}
+	return rel.schema.Decode(raw)
+}
+
+// Update applies column changes to a row, maintaining indexes whose
+// key changes. Fixed-width single-column changes are logged as small
+// in-place write records; otherwise the whole tuple image is logged.
+func (tx *Txn) Update(rel *Relation, id RowID, changes map[string]any) error {
+	if len(changes) == 0 {
+		return nil
+	}
+	if err := tx.t.LockRelation(rel.relID, lock.IX); err != nil {
+		return err
+	}
+	if err := tx.t.LockEntity(id, lock.X); err != nil {
+		return err
+	}
+	raw, err := tx.t.ReadEntity(id)
+	if err != nil {
+		if errors.Is(err, txn.ErrNotFound) {
+			return fmt.Errorf("%w: row %v", ErrNotFound, id)
+		}
+		return err
+	}
+	oldTup, err := rel.schema.Decode(raw)
+	if err != nil {
+		return err
+	}
+	newTup := oldTup.Clone()
+	cols := make([]int, 0, len(changes))
+	for name, v := range changes {
+		c, err := rel.schema.ColIndex(name)
+		if err != nil {
+			return err
+		}
+		newTup[c] = v
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	// Index maintenance: delete old entries before the tuple bytes
+	// change (comparators read the stored tuple), reinsert after.
+	var touched []*Index
+	for _, idx := range rel.Indexes() {
+		changed := false
+		for _, c := range cols {
+			if c == idx.col && oldTup[c] != newTup[c] {
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		if err := tx.t.LockIndex(idx.idxID, lock.X); err != nil {
+			return err
+		}
+		if err := idx.deleteEntry(txn.IndexPager{T: tx.t, Seg: idx.seg}, id.Pack()); err != nil {
+			return err
+		}
+		touched = append(touched, idx)
+	}
+	// Apply the tuple change.
+	if len(cols) == 1 {
+		if off, ok := rel.schema.FixedOffset(cols[0]); ok {
+			val, err := rel.schema.EncodeValue(cols[0], newTup[cols[0]])
+			if err != nil {
+				return err
+			}
+			if err := tx.t.WriteEntityAt(id, false, off, val); err != nil {
+				return err
+			}
+		} else {
+			enc, err := rel.schema.Encode(newTup)
+			if err != nil {
+				return err
+			}
+			if err := tx.t.UpdateEntity(id, false, enc); err != nil {
+				return err
+			}
+		}
+	} else {
+		enc, err := rel.schema.Encode(newTup)
+		if err != nil {
+			return err
+		}
+		if err := tx.t.UpdateEntity(id, false, enc); err != nil {
+			return err
+		}
+	}
+	for _, idx := range touched {
+		if err := idx.insertEntry(txn.IndexPager{T: tx.t, Seg: idx.seg}, id.Pack()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes a row and its index entries. The physical tuple
+// removal is deferred to commit; index node changes are immediate and
+// undone on abort.
+func (tx *Txn) Delete(rel *Relation, id RowID) error {
+	if err := tx.t.LockRelation(rel.relID, lock.IX); err != nil {
+		return err
+	}
+	if err := tx.t.LockEntity(id, lock.X); err != nil {
+		return err
+	}
+	if _, err := tx.t.ReadEntity(id); err != nil {
+		if errors.Is(err, txn.ErrNotFound) {
+			return fmt.Errorf("%w: row %v", ErrNotFound, id)
+		}
+		return err
+	}
+	// Remove index entries while the tuple is still readable (the
+	// comparators need its key).
+	for _, idx := range rel.Indexes() {
+		if err := tx.t.LockIndex(idx.idxID, lock.X); err != nil {
+			return err
+		}
+		if err := idx.deleteEntry(txn.IndexPager{T: tx.t, Seg: idx.seg}, id.Pack()); err != nil {
+			return err
+		}
+	}
+	return tx.t.DeleteEntity(id)
+}
+
+// Scan visits every tuple of the relation in storage order under a
+// relation share lock; fn returns false to stop.
+func (tx *Txn) Scan(rel *Relation, fn func(id RowID, tuple heap.Tuple) bool) error {
+	if err := tx.t.LockRelation(rel.relID, lock.S); err != nil {
+		return err
+	}
+	parts, err := tx.db.partsOfSegment(rel, rel.seg)
+	if err != nil {
+		return err
+	}
+	for _, ps := range parts {
+		pid := addr.PartitionID{Segment: rel.seg, Part: ps.Part}
+		p, err := tx.db.store.Partition(pid) // recovers on demand
+		if err != nil {
+			return err
+		}
+		type row struct {
+			s    addr.Slot
+			data []byte
+		}
+		var rows []row
+		p.Latch()
+		p.Slots(func(s addr.Slot, data []byte) bool {
+			rows = append(rows, row{s, append([]byte(nil), data...)})
+			return true
+		})
+		p.Unlatch()
+		for _, r := range rows {
+			id := RowID{Segment: rel.seg, Part: ps.Part, Slot: r.s}
+			if tx.t.PendingDelete(id) {
+				continue
+			}
+			tup, err := rel.schema.Decode(r.data)
+			if err != nil {
+				return err
+			}
+			if !fn(id, tup) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of tuples in the relation.
+func (tx *Txn) Count(rel *Relation) (int, error) {
+	n := 0
+	err := tx.Scan(rel, func(RowID, heap.Tuple) bool { n++; return true })
+	return n, err
+}
+
+// IndexLookup finds rows whose indexed column equals key. Matches are
+// re-validated under entity share locks after the index probe, so
+// entries from uncommitted or aborted transactions are never returned.
+func (tx *Txn) IndexLookup(idx *Index, key any, fn func(id RowID, tuple heap.Tuple) bool) error {
+	rel := idx.rel
+	if err := tx.t.LockRelation(rel.relID, lock.IS); err != nil {
+		return err
+	}
+	entries, err := tx.probe(idx, key, key)
+	if err != nil {
+		return err
+	}
+	return tx.validateAndVisit(rel, idx, key, key, entries, fn)
+}
+
+// IndexRange visits rows with lo <= key <= hi in key order (T-Tree
+// indexes only; nil bounds are unbounded).
+func (tx *Txn) IndexRange(idx *Index, lo, hi any, fn func(id RowID, tuple heap.Tuple) bool) error {
+	if idx.kind != KindTTree {
+		return fmt.Errorf("mmdb: IndexRange requires a T-Tree index, %q is %v", idx.name, idx.kind)
+	}
+	rel := idx.rel
+	if err := tx.t.LockRelation(rel.relID, lock.IS); err != nil {
+		return err
+	}
+	entries, err := tx.probe(idx, lo, hi)
+	if err != nil {
+		return err
+	}
+	return tx.validateAndVisit(rel, idx, lo, hi, entries, fn)
+}
+
+// probe collects candidate entries under the index read latch, without
+// taking tuple locks (lock acquisition under a latch could deadlock
+// undetectably, §2.5's latch discussion).
+func (tx *Txn) probe(idx *Index, lo, hi any) ([]uint64, error) {
+	if err := idx.checkKeyType(lo); err != nil {
+		return nil, err
+	}
+	if err := idx.checkKeyType(hi); err != nil {
+		return nil, err
+	}
+	idx.latch.RLock()
+	defer idx.latch.RUnlock()
+	pager := txn.ReadPager{Store: tx.db.store}
+	var out []uint64
+	switch idx.kind {
+	case KindTTree:
+		tr, err := idx.tree(pager)
+		if err != nil {
+			return nil, err
+		}
+		err = tr.Range(lo, hi, func(e uint64) bool {
+			out = append(out, e)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	case KindLinHash:
+		tb, err := idx.table(pager)
+		if err != nil {
+			return nil, err
+		}
+		kh, err := idx.hashKey(lo)
+		if err != nil {
+			return nil, err
+		}
+		err = tb.Lookup(lo, kh, func(e uint64) bool {
+			out = append(out, e)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("mmdb: unknown index kind %v", idx.kind)
+	}
+	return out, nil
+}
+
+// validateAndVisit locks and re-reads each candidate, dropping rows
+// that vanished or whose key no longer falls in [lo, hi].
+func (tx *Txn) validateAndVisit(rel *Relation, idx *Index, lo, hi any, entries []uint64, fn func(RowID, heap.Tuple) bool) error {
+	for _, e := range entries {
+		id := addr.Unpack(e)
+		if err := tx.t.LockEntity(id, lock.S); err != nil {
+			return err
+		}
+		raw, err := tx.t.ReadEntity(id)
+		if err != nil {
+			if errors.Is(err, txn.ErrNotFound) {
+				continue // deleted between probe and lock
+			}
+			return err
+		}
+		tup, err := rel.schema.Decode(raw)
+		if err != nil {
+			return err
+		}
+		if lo != nil {
+			c, err := idx.compareKeys(lo, tup[idx.col])
+			if err != nil {
+				return err
+			}
+			if c > 0 {
+				continue
+			}
+		}
+		if hi != nil {
+			c, err := idx.compareKeys(hi, tup[idx.col])
+			if err != nil {
+				return err
+			}
+			if c < 0 {
+				continue
+			}
+		}
+		if !fn(id, tup) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// IndexKind and the kind constants are re-exported for callers.
+type IndexKind = catalog.IndexKind
+
+// Index kinds.
+const (
+	KindTTree   = catalog.KindTTree
+	KindLinHash = catalog.KindLinHash
+)
