@@ -10,6 +10,7 @@ import (
 	"log"
 
 	"mmdb"
+	"mmdb/internal/metrics"
 )
 
 func stats(label string, db *mmdb.DB) {
@@ -91,4 +92,7 @@ func main() {
 	_ = tx.Abort()
 	fmt.Printf("  %d rows intact\n", n)
 	stats("post-recovery", db2)
+
+	fmt.Println("== metrics: recovered instance ==")
+	fmt.Print(metrics.FormatTable(db2.Metrics()))
 }

@@ -8,24 +8,54 @@
 //	scan <rel>
 //	lookup <rel> <index> <key>
 //	delete <rel> <seg.part.slot>
-//	stats | bins | crash | help | quit
+//	stats | metrics | bins | crash | help | quit
 //
 // Each data command runs in its own transaction. After "crash" the
 // shell recovers automatically and keeps going — data written before
 // the crash survives.
+//
+// With -metrics-json PATH, the shell writes an expvar-style JSON dump
+// of the final metrics snapshot to PATH on exit ("-" for stdout).
 package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
 	"mmdb"
+	"mmdb/internal/metrics"
 )
 
+var metricsJSON = flag.String("metrics-json", "",
+	"on exit, write a JSON dump of the metrics snapshot to this file ('-' for stdout)")
+
+// dumpMetrics writes the snapshot as indented JSON per -metrics-json.
+func dumpMetrics(db *mmdb.DB) {
+	if *metricsJSON == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(db.Metrics(), "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metrics dump:", err)
+		return
+	}
+	buf = append(buf, '\n')
+	if *metricsJSON == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*metricsJSON, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics dump:", err)
+	}
+}
+
 func main() {
+	flag.Parse()
 	cfg := mmdb.DefaultConfig()
 	db, err := mmdb.Open(cfg)
 	if err != nil {
@@ -45,10 +75,11 @@ func main() {
 		}
 		switch fields[0] {
 		case "quit", "exit":
+			dumpMetrics(db)
 			_ = db.Close()
 			return
 		case "help":
-			fmt.Println("create index insert get scan lookup delete stats bins crash quit")
+			fmt.Println("create index insert get scan lookup delete stats metrics bins crash quit")
 		case "crash":
 			hw := db.Crash()
 			db, err = mmdb.Recover(hw, cfg)
@@ -59,6 +90,8 @@ func main() {
 			fmt.Println("crashed and recovered; catalogs restored, partitions on demand")
 		case "stats":
 			fmt.Printf("%+v\n", db.Stats())
+		case "metrics":
+			fmt.Print(metrics.FormatTable(db.Metrics()))
 		case "bins":
 			for _, b := range db.Manager().BinStates() {
 				fmt.Printf("%v: %d updates, %d pages, %d buffered records, ckpt-pending=%v\n",
@@ -70,6 +103,9 @@ func main() {
 			}
 		}
 	}
+	// EOF on stdin (piped input) ends the session like "quit".
+	dumpMetrics(db)
+	_ = db.Close()
 }
 
 func command(db *mmdb.DB, f []string) error {

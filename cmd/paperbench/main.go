@@ -14,6 +14,7 @@
 //	paperbench ablate-hotspot   A2: per-txn SLB chains vs global log tail
 //	paperbench ablate-commit    A3: instant vs disk-forced commit
 //	paperbench ablate-accum     A4: change accumulation (§1.2 extension)
+//	paperbench metrics          measured latency histograms from a real DB run
 //	paperbench all              everything above
 package main
 
@@ -46,6 +47,7 @@ func main() {
 		"ablate-hotspot":   ablateHotspot,
 		"ablate-commit":    ablateCommit,
 		"ablate-accum":     ablateAccum,
+		"metrics":          metricsReport,
 	}
 	run := func(name string) {
 		fn, ok := cmds[name]
@@ -60,7 +62,8 @@ func main() {
 	}
 	if args[0] == "all" {
 		for _, name := range []string{"table2", "graph1", "graph2", "graph3", "recovery",
-			"predeclare", "ablate-directory", "ablate-hotspot", "ablate-commit", "ablate-accum"} {
+			"predeclare", "ablate-directory", "ablate-hotspot", "ablate-commit", "ablate-accum",
+			"metrics"} {
 			run(name)
 			fmt.Println()
 		}
@@ -72,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: paperbench [-quick] {table2|graph1|graph2|graph3|recovery|ablate-directory|ablate-hotspot|ablate-commit|ablate-accum|all}")
+	fmt.Fprintln(os.Stderr, "usage: paperbench [-quick] {table2|graph1|graph2|graph3|recovery|ablate-directory|ablate-hotspot|ablate-commit|ablate-accum|metrics|all}")
 }
 
 func n(full int) int {

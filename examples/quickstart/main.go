@@ -88,4 +88,20 @@ func main() {
 	st := db2.Stats()
 	fmt.Printf("recovery stats: %d partitions recovered, %d log pages replayed\n",
 		st.PartsRecovered, st.RecoveryLogPages)
+
+	// Metrics carry the latency distributions behind those counters
+	// (this is the README's Observability example).
+	db2.WaitIdle()
+	s := db2.Metrics()
+	if ck := s.Subsystem("checkpoint"); ck != nil {
+		fmt.Println("checkpoints:", ck.Counter("completed"))
+		if h := ck.Histogram("duration"); h != nil {
+			fmt.Printf("ckpt p95: %.0fns over %d ckpts\n", h.P95, h.Count)
+		}
+	}
+	if rs := s.Subsystem("restart"); rs != nil {
+		if h := rs.Histogram("partition_recovery"); h != nil && h.Count > 0 {
+			fmt.Printf("per-partition recovery p95: %.0fns over %d partitions\n", h.P95, h.Count)
+		}
+	}
 }

@@ -89,7 +89,7 @@ func (m *Manager) checkpointer() {
 				break
 			}
 			if err := m.runCheckpoint(req); err != nil {
-				m.stats.ckptFailed.Add(1)
+				m.metrics.CkptFailed.Add(1)
 				m.clearFence(req.pid)
 				select {
 				case <-m.stop:
@@ -105,7 +105,7 @@ func (m *Manager) checkpointer() {
 					// the update-count/age trigger re-requests once
 					// the partition accumulates more log records.
 					m.slb.dropCkpt(req)
-					m.stats.ckptAbandoned.Add(1)
+					m.metrics.CkptAbandoned.Add(1)
 				} else {
 					m.slb.requeueCkpt(req)
 				}
@@ -143,6 +143,7 @@ func (m *Manager) runCheckpoint(req *ckptReq) error {
 		m.slb.dropCkpt(req)
 		return nil
 	}
+	start := time.Now()
 	t := m.Txns.Begin()
 	committed := false
 	defer func() {
@@ -220,6 +221,8 @@ func (m *Manager) runCheckpoint(req *ckptReq) error {
 		return err
 	}
 	committed = true
+	m.metrics.CkptDuration.ObserveSince(start)
+	m.metrics.CkptImageBytes.Observe(int64(len(img)))
 	m.dmap.free(oldTrack)
 	if oldTrack != simdisk.NilTrack {
 		m.hw.Ckpt.FreeTrack(oldTrack)

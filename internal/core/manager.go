@@ -4,7 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"mmdb/internal/addr"
 	"mmdb/internal/lock"
@@ -91,23 +91,10 @@ type Manager struct {
 	finishCh chan finishMsg
 	freedCh  chan addr.PartitionID
 
-	stats struct {
-		recordsSorted      atomic.Int64
-		recordsAccumulated atomic.Int64
-		bytesSorted        atomic.Int64
-		pagesFlushed       atomic.Int64
-		ckptByUpdateCount  atomic.Int64
-		ckptByAge          atomic.Int64
-		ckptCompleted      atomic.Int64
-		ckptFailed         atomic.Int64
-		ckptAbandoned      atomic.Int64
-		pagesArchived      atomic.Int64
-		windowOverruns     atomic.Int64
-		partsRecovered     atomic.Int64
-		recoveryLogPages   atomic.Int64
-		txnsCommitted      atomic.Int64
-		txnsAborted        atomic.Int64
-	}
+	// metrics is the unified observability registry; the counters that
+	// used to live in an ad-hoc stats struct are now registry-backed
+	// (Stats() is a compatibility shim over it).
+	metrics *Metrics
 }
 
 // New creates the recovery component over hardware hw. For a fresh
@@ -118,6 +105,7 @@ func New(hw *Hardware, cfg Config, store *mm.Store, locks *lock.Manager) (*Manag
 	if err != nil {
 		return nil, err
 	}
+	mt := newMetrics()
 	m := &Manager{
 		cfg:      cfg,
 		hw:       hw,
@@ -130,8 +118,16 @@ func New(hw *Hardware, cfg Config, store *mm.Store, locks *lock.Manager) (*Manag
 		drainCh:  make(chan drainMsg),
 		finishCh: make(chan finishMsg),
 		freedCh:  make(chan addr.PartitionID, 64),
+		metrics:  mt,
 	}
+	// Thread the instruments through the components the manager wires:
+	// the SLB reports record-write latency, the lock table wait time and
+	// deadlocks, the transaction manager begin-to-commit latency.
+	s.writeLatency = mt.SLBRecordWrite
+	locks.WaitLatency = mt.LockWait
+	locks.DeadlockCount = mt.Deadlocks
 	m.Txns = txn.NewManager(store, locks, &sinkWrapper{m: m})
+	m.Txns.CommitLatency = mt.CommitLatency
 	return m, nil
 }
 
@@ -141,14 +137,14 @@ type sinkWrapper struct{ m *Manager }
 func (w *sinkWrapper) BeginTxn(id uint64)              { w.m.slb.BeginTxn(id) }
 func (w *sinkWrapper) WriteRecord(r *wal.Record) error { return w.m.slb.WriteRecord(r) }
 func (w *sinkWrapper) AbortTxn(id uint64) {
-	w.m.stats.txnsAborted.Add(1)
+	w.m.metrics.TxnsAborted.Add(1)
 	w.m.slb.AbortTxn(id)
 }
 func (w *sinkWrapper) CommitTxn(id uint64) error {
 	if err := w.m.slb.CommitTxn(id); err != nil {
 		return err
 	}
-	w.m.stats.txnsCommitted.Add(1)
+	w.m.metrics.TxnsCommitted.Add(1)
 	return nil
 }
 
@@ -165,24 +161,27 @@ func (m *Manager) Hardware() *Hardware { return m.hw }
 // Config returns the manager's configuration.
 func (m *Manager) Config() Config { return m.cfg }
 
-// Stats returns a snapshot of the recovery-component counters.
+// Stats returns a snapshot of the recovery-component counters. It is a
+// compatibility shim over the metrics registry: the counters are the
+// registry's own, read at call time.
 func (m *Manager) Stats() Stats {
+	mt := m.metrics
 	return Stats{
-		RecordsSorted:      m.stats.recordsSorted.Load(),
-		RecordsAccumulated: m.stats.recordsAccumulated.Load(),
-		BytesSorted:        m.stats.bytesSorted.Load(),
-		PagesFlushed:       m.stats.pagesFlushed.Load(),
-		CkptByUpdateCount:  m.stats.ckptByUpdateCount.Load(),
-		CkptByAge:          m.stats.ckptByAge.Load(),
-		CkptCompleted:      m.stats.ckptCompleted.Load(),
-		CkptFailed:         m.stats.ckptFailed.Load(),
-		CkptAbandoned:      m.stats.ckptAbandoned.Load(),
-		PagesArchived:      m.stats.pagesArchived.Load(),
-		WindowOverruns:     m.stats.windowOverruns.Load(),
-		PartsRecovered:     m.stats.partsRecovered.Load(),
-		RecoveryLogPages:   m.stats.recoveryLogPages.Load(),
-		TxnsCommitted:      m.stats.txnsCommitted.Load(),
-		TxnsAborted:        m.stats.txnsAborted.Load(),
+		RecordsSorted:      mt.RecordsSorted.Value(),
+		RecordsAccumulated: mt.RecordsAccumulated.Value(),
+		BytesSorted:        mt.BytesSorted.Value(),
+		PagesFlushed:       mt.PagesFlushed.Value(),
+		CkptByUpdateCount:  mt.CkptByUpdateCount.Value(),
+		CkptByAge:          mt.CkptByAge.Value(),
+		CkptCompleted:      mt.CkptCompleted.Value(),
+		CkptFailed:         mt.CkptFailed.Value(),
+		CkptAbandoned:      mt.CkptAbandoned.Value(),
+		PagesArchived:      mt.PagesArchived.Value(),
+		WindowOverruns:     mt.WindowOverruns.Value(),
+		PartsRecovered:     mt.PartsRecovered.Value(),
+		RecoveryLogPages:   mt.RecoveryLogPages.Value(),
+		TxnsCommitted:      mt.TxnsCommitted.Value(),
+		TxnsAborted:        mt.TxnsAborted.Value(),
 	}
 }
 
@@ -292,7 +291,7 @@ func (m *Manager) sortChain(c *txnChain) error {
 		}
 		acc, dropped := accumulate(flat)
 		if dropped > 0 {
-			m.stats.recordsAccumulated.Add(int64(dropped))
+			m.metrics.RecordsAccumulated.Add(int64(dropped))
 			// Accumulation work: roughly one lookup + copy per input
 			// record.
 			m.hw.Meter.ChargeRecovery(int64(float64(len(flat)) * (cost.IRecordLookup/2 + cost.ICopyFixed)))
@@ -304,8 +303,8 @@ func (m *Manager) sortChain(c *txnChain) error {
 			return err
 		}
 		sz := int64(r.EncodedSize())
-		m.stats.recordsSorted.Add(1)
-		m.stats.bytesSorted.Add(sz)
+		m.metrics.RecordsSorted.Add(1)
+		m.metrics.BytesSorted.Add(sz)
 		// I_record_sort: lookup + page check + copy startup +
 		// per-byte copy + page info update.
 		m.hw.Meter.ChargeRecovery(int64(cost.IRecordLookup + cost.IPageCheck +
@@ -369,7 +368,7 @@ func (m *Manager) sortRecord(r *wal.Record) error {
 	pid := b.pid
 	s.st.mu.Unlock()
 	if trigger {
-		m.stats.ckptByUpdateCount.Add(1)
+		m.metrics.CkptByUpdateCount.Add(1)
 		m.hw.Meter.ChargeRecovery(int64(m.cfg.Cost.ICheckpoint))
 		m.slb.enqueueCkpt(pid, trigUpdateCount)
 	}
@@ -390,10 +389,12 @@ func (m *Manager) flushBinPageLocked(b *bin) error {
 		pg.Dir = append([]simdisk.LSN(nil), b.dir...)
 		pg.DirPrev = b.dirPrev
 	}
+	flushStart := time.Now()
 	lsn, err := m.hw.Log.Append(pg.Encode())
 	if err != nil {
 		return err
 	}
+	m.metrics.PageFlushLatency.ObserveSince(flushStart)
 	wasFirst := len(b.pages) == 0
 	b.pages = append(b.pages, lsn)
 	b.prevLSN = lsn
@@ -408,7 +409,7 @@ func (m *Manager) flushBinPageLocked(b *bin) error {
 	if wasFirst {
 		heap.Push(m.slt.firstList, lsnEntry{lsn: lsn, pid: b.pid})
 	}
-	m.stats.pagesFlushed.Add(1)
+	m.metrics.PagesFlushed.Add(1)
 	c := m.cfg.Cost
 	m.hw.Meter.ChargeRecovery(int64(c.IWriteInit + c.IPageAlloc + c.IProcessLSN))
 	m.advanceWindowLocked()
@@ -447,7 +448,7 @@ func (m *Manager) advanceWindowLocked() {
 		}
 		if !b.ckptPending {
 			b.ckptPending = true
-			m.stats.ckptByAge.Add(1)
+			m.metrics.CkptByAge.Add(1)
 			m.hw.Meter.ChargeRecovery(int64(m.cfg.Cost.ICheckpoint))
 			m.slb.enqueueCkpt(b.pid, trigAge)
 		}
@@ -471,7 +472,7 @@ func (m *Manager) archiveLocked(tail simdisk.LSN) {
 	}
 	limit := tail
 	if floor != 0 && floor-1 < limit {
-		m.stats.windowOverruns.Add(1)
+		m.metrics.WindowOverruns.Add(1)
 		limit = floor - 1
 	}
 	for lsn := m.slt.st.lastArchived + 1; lsn <= limit; lsn++ {
@@ -481,7 +482,7 @@ func (m *Manager) archiveLocked(tail simdisk.LSN) {
 			continue
 		}
 		m.hw.Tape.Append(append([]byte{simdisk.TapeKindLogPage}, page...))
-		m.stats.pagesArchived.Add(1)
+		m.metrics.PagesArchived.Add(1)
 	}
 	if limit > m.slt.st.lastArchived {
 		m.hw.Log.Drop(limit)
@@ -565,13 +566,13 @@ func (m *Manager) finishCheckpoint(pid addr.PartitionID, track simdisk.TrackLoc)
 	if f := b.firstLSN(); f != simdisk.NilLSN {
 		heap.Push(m.slt.firstList, lsnEntry{lsn: f, pid: b.pid})
 	}
-	m.stats.ckptCompleted.Add(1)
+	m.metrics.CkptCompleted.Add(1)
 	// The surviving suffix may already exceed the threshold (records
 	// kept arriving between fence and finish); re-trigger immediately
 	// rather than waiting for the next record.
 	if b.updateCount >= m.cfg.UpdateThreshold {
 		b.ckptPending = true
-		m.stats.ckptByUpdateCount.Add(1)
+		m.metrics.CkptByUpdateCount.Add(1)
 		m.hw.Meter.ChargeRecovery(int64(m.cfg.Cost.ICheckpoint))
 		m.slb.enqueueCkpt(b.pid, trigUpdateCount)
 	}

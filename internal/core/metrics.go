@@ -1,0 +1,129 @@
+package core
+
+import (
+	"mmdb/internal/metrics"
+)
+
+// Metrics bundles every instrument of the recovery component, grouped
+// into the per-subsystem registries exposed by DB.Metrics(). Each
+// instrument is a preallocated atomic slot; hot paths (record writes,
+// page flushes, sorting) pay one atomic add per event.
+//
+// The subsystems map onto the paper's architecture:
+//
+//	txn        — main-CPU transaction processing (§2.3.1 instant commit)
+//	slb        — Stable Log Buffer record writes (§2.3.1)
+//	log        — recovery-CPU sorter, bin page flushes, log window,
+//	             archive rollover (§2.3.3)
+//	checkpoint — per-partition checkpoint transactions (§2.4)
+//	restart    — post-crash two-phase recovery (§2.5)
+//	lock       — 2PL lock waits and deadlocks (§2.3.2)
+type Metrics struct {
+	reg *metrics.Registry
+
+	// txn — validates the instant-commit claim: commit latency must be
+	// memory-speed, with no log-I/O synchronisation in its tail.
+	CommitLatency *metrics.Histogram
+	TxnsCommitted *metrics.Counter
+	TxnsAborted   *metrics.Counter
+
+	// slb — the main-CPU side of logging: latency of one REDO record
+	// write into stable memory.
+	SLBRecordWrite *metrics.Histogram
+
+	// log — the recovery-CPU side: sorting committed chains into
+	// partition bins and flushing full bin pages to the log disk.
+	PageFlushLatency   *metrics.Histogram
+	RecordsSorted      *metrics.Counter
+	RecordsAccumulated *metrics.Counter
+	BytesSorted        *metrics.Counter
+	PagesFlushed       *metrics.Counter
+	PagesArchived      *metrics.Counter
+	WindowOverruns     *metrics.Counter
+
+	// checkpoint — per-partition checkpoint cost, the amortisation the
+	// paper's Graph 3 is about.
+	CkptDuration      *metrics.Histogram
+	CkptImageBytes    *metrics.Histogram
+	CkptByUpdateCount *metrics.Counter
+	CkptByAge         *metrics.Counter
+	CkptCompleted     *metrics.Counter
+	CkptFailed        *metrics.Counter
+	CkptAbandoned     *metrics.Counter
+
+	// restart — the foreground/background split of §2.5: root scan
+	// (catalog restore) happens before the first transaction; partition
+	// recovery is on demand; the background sweep covers the rest.
+	RestartRootScan   *metrics.Histogram
+	PartitionRecovery *metrics.Histogram
+	BackgroundSweep   *metrics.Histogram
+	PartsRecovered    *metrics.Counter
+	RecoveryLogPages  *metrics.Counter
+
+	// lock — contention on the 2PL substrate.
+	LockWait  *metrics.Histogram
+	Deadlocks *metrics.Counter
+}
+
+// newMetrics builds the instrument set on a fresh registry.
+func newMetrics() *Metrics {
+	reg := metrics.NewRegistry()
+	txn := reg.Subsystem("txn")
+	slb := reg.Subsystem("slb")
+	logS := reg.Subsystem("log")
+	ckpt := reg.Subsystem("checkpoint")
+	restart := reg.Subsystem("restart")
+	lockS := reg.Subsystem("lock")
+	return &Metrics{
+		reg: reg,
+
+		CommitLatency: txn.Histogram("commit_latency", "ns",
+			"begin-to-commit latency of user transactions (§2.3.1 instant commit)"),
+		TxnsCommitted: txn.Counter("commits", "txns", "committed transactions"),
+		TxnsAborted:   txn.Counter("aborts", "txns", "aborted transactions"),
+
+		SLBRecordWrite: slb.Histogram("record_write", "ns",
+			"latency of one REDO record write into the Stable Log Buffer"),
+
+		PageFlushLatency: logS.Histogram("page_flush", "ns",
+			"latency of one bin page write to the duplexed log disks (§2.3.3)"),
+		RecordsSorted:      logS.Counter("records_sorted", "records", "records moved SLB -> SLT bins"),
+		RecordsAccumulated: logS.Counter("records_accumulated", "records", "records removed by change accumulation (§1.2)"),
+		BytesSorted:        logS.Counter("bytes_sorted", "bytes", "record bytes moved into bins"),
+		PagesFlushed:       logS.Counter("pages_flushed", "pages", "bin pages written to the log disk"),
+		PagesArchived:      logS.Counter("pages_archived", "pages", "log pages rolled to the archive tape (§2.6)"),
+		WindowOverruns:     logS.Counter("window_overruns", "events", "pages kept past the log window for safety"),
+
+		CkptDuration: ckpt.Histogram("duration", "ns",
+			"wall time of one checkpoint transaction, fence to commit (§2.4)"),
+		CkptImageBytes: ckpt.Histogram("image_bytes", "bytes",
+			"partition image size written per checkpoint"),
+		CkptByUpdateCount: ckpt.Counter("triggered_by_update_count", "ckpts", "checkpoints triggered at N_update"),
+		CkptByAge:         ckpt.Counter("triggered_by_age", "ckpts", "checkpoints triggered by the log window (§2.3.3)"),
+		CkptCompleted:     ckpt.Counter("completed", "ckpts", "checkpoint transactions committed"),
+		CkptFailed:        ckpt.Counter("failed", "ckpts", "checkpoint attempts that aborted"),
+		CkptAbandoned:     ckpt.Counter("abandoned", "ckpts", "requests dropped after repeated failures"),
+
+		RestartRootScan: restart.Histogram("root_scan", "ns",
+			"stable-root + catalog restore time before the first transaction (§2.5)"),
+		PartitionRecovery: restart.Histogram("partition_recovery", "ns",
+			"per-partition recovery transaction time: image read + log replay (§2.5)"),
+		BackgroundSweep: restart.Histogram("background_sweep", "ns",
+			"total background-recovery sweep time (§2.5 method 2)"),
+		PartsRecovered:   restart.Counter("partitions_recovered", "parts", "partitions restored post-crash"),
+		RecoveryLogPages: restart.Counter("log_pages_read", "pages", "log pages read during recovery"),
+
+		LockWait: lockS.Histogram("wait", "ns",
+			"time transactions spend blocked on 2PL lock queues"),
+		Deadlocks: lockS.Counter("deadlocks", "events", "waits-for cycles resolved by victim abort"),
+	}
+}
+
+// Registry returns the underlying metrics registry.
+func (mt *Metrics) Registry() *metrics.Registry { return mt.reg }
+
+// Metrics returns the manager's instrument bundle (benchmarks, tools).
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// MetricsSnapshot captures every instrument of this database instance.
+func (m *Manager) MetricsSnapshot() metrics.Snapshot { return m.metrics.reg.Snapshot() }

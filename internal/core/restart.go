@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"mmdb/internal/addr"
 	"mmdb/internal/catalog"
@@ -24,6 +25,10 @@ import (
 // background sweep; regular transaction processing can begin as soon as
 // the catalogs are restored.
 func (m *Manager) Restart() (*catalog.Root, error) {
+	// The root-scan phase is everything that must happen before the
+	// first transaction: stable-log drain plus catalog restore (§2.5).
+	scanStart := time.Now()
+	defer m.metrics.RestartRootScan.ObserveSince(scanStart)
 	m.DrainStableOnly()
 	root := m.slt.rootCopy()
 	// Restore the catalogs first (§2.5): their partition addresses
@@ -164,6 +169,8 @@ func (m *Manager) backgroundSweep() {
 	if m.cb.AllPartitions == nil {
 		return
 	}
+	sweepStart := time.Now()
+	defer m.metrics.BackgroundSweep.ObserveSince(sweepStart)
 	pids, err := m.cb.AllPartitions()
 	if err != nil {
 		return
@@ -189,6 +196,7 @@ func (m *Manager) backgroundSweep() {
 // directory), apply the records, then apply the records still in the
 // partition's bin in the Stable Log Tail.
 func (m *Manager) RecoverPartition(pid addr.PartitionID, track simdisk.TrackLoc) (*mm.Partition, error) {
+	recStart := time.Now()
 	var p *mm.Partition
 	if track != simdisk.NilTrack {
 		img, err := m.hw.Ckpt.ReadTrack(track)
@@ -230,13 +238,14 @@ func (m *Manager) RecoverPartition(pid addr.PartitionID, track simdisk.TrackLoc)
 		if _, err := applyRecords(p, pg.Records); err != nil {
 			return nil, err
 		}
-		m.stats.recoveryLogPages.Add(1)
+		m.metrics.RecoveryLogPages.Add(1)
 	}
 	if len(curRecs) > 0 {
 		if _, err := applyRecords(p, curRecs); err != nil {
 			return nil, err
 		}
 	}
-	m.stats.partsRecovered.Add(1)
+	m.metrics.PartsRecovered.Add(1)
+	m.metrics.PartitionRecovery.ObserveSince(recStart)
 	return p, nil
 }

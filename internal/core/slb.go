@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"mmdb/internal/addr"
+	"mmdb/internal/metrics"
 	"mmdb/internal/stablemem"
 	"mmdb/internal/wal"
 )
@@ -84,6 +86,9 @@ type slb struct {
 	blockSz  int
 	commitCh chan struct{} // nudges the sorter
 	ckptCh   chan struct{} // nudges the checkpointer
+	// writeLatency observes the duration of each WriteRecord call —
+	// the main-CPU cost of logging one REDO record (§2.3.1). Nil-safe.
+	writeLatency *metrics.Histogram
 }
 
 func newSLB(mem *stablemem.Memory, blockSz int) (*slb, error) {
@@ -118,6 +123,8 @@ func (s *slb) BeginTxn(id uint64) {
 // WriteRecord implements txn.RedoSink: append the record's encoding to
 // the transaction's chain, allocating blocks on demand.
 func (s *slb) WriteRecord(rec *wal.Record) error {
+	start := time.Now()
+	defer s.writeLatency.ObserveSince(start)
 	enc := rec.Encode(nil)
 	s.st.mu.Lock()
 	c := s.st.uncommitted[rec.Txn]

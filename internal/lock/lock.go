@@ -16,6 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"mmdb/internal/metrics"
 )
 
 // Mode is a lock mode.
@@ -117,6 +120,13 @@ type Manager struct {
 	// waitsFor[t] = set of transactions t is waiting on.
 	waitsFor map[uint64]map[uint64]bool
 	held     map[uint64]map[Name]Mode // per-transaction held locks
+
+	// WaitLatency observes the blocked portion of Lock calls (only
+	// requests that actually queue). DeadlockCount counts waits-for
+	// cycles resolved by victim cancellation. Both are optional wiring
+	// (nil-safe) set once before the manager is shared.
+	WaitLatency   *metrics.Histogram
+	DeadlockCount *metrics.Counter
 }
 
 // NewManager creates an empty lock table.
@@ -246,6 +256,7 @@ func (m *Manager) resolveDeadlocks(prefer uint64) {
 			return
 		}
 		m.cancelWait(victim, fmt.Errorf("%w: txn %d chosen as victim", ErrDeadlock, victim))
+		m.DeadlockCount.Inc()
 	}
 }
 
@@ -306,9 +317,11 @@ func (m *Manager) Lock(txn uint64, name Name, mode Mode) error {
 	}
 	m.resolveDeadlocks(txn)
 
+	waitStart := time.Now()
 	for !req.done {
 		req.cond.Wait()
 	}
+	m.WaitLatency.ObserveSince(waitStart)
 	delete(m.waitsFor, txn)
 	return req.err
 }
@@ -375,6 +388,21 @@ func (m *Manager) ReleaseAll(txn uint64) {
 	// Sweeps may have granted queued conversions, which tighten other
 	// waiters' blocker sets; resolve any cycle that formed.
 	m.resolveDeadlocks(0)
+}
+
+// HasWaiters reports whether any transaction is currently blocked in a
+// lock queue; used by tests that need to observe contention.
+func (m *Manager) HasWaiters() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, h := range m.locks {
+		for _, req := range h.queue {
+			if !req.done {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // HeldLocks returns a copy of txn's held locks; used by tests and the

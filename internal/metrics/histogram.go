@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers the full non-negative int64 range with power-of-two
+// bucket boundaries: bucket 0 holds the value 0, bucket i (i >= 1)
+// holds values v with 2^(i-1) <= v < 2^i. 64 buckets of one atomic
+// word each keep a histogram at 576 bytes — cheap enough that every
+// hot path gets one.
+const numBuckets = 64
+
+// Histogram is a fixed-bucket histogram over non-negative int64
+// values (latencies in nanoseconds, sizes in bytes). Observations are
+// a single atomic add into a power-of-two bucket plus count/sum/min/max
+// maintenance: no locks, no allocation, safe for concurrent use.
+//
+// Quantiles (p50/p95/p99) are estimated at snapshot time by linear
+// interpolation within the containing bucket, which bounds the relative
+// error by the bucket width (a factor of two) — sufficient to read
+// order-of-magnitude latency distributions, which is what the paper's
+// claims are about.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0; see observe
+	max     atomic.Int64
+}
+
+// bucketIndex returns the bucket for value v (v < 0 is clamped to 0).
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) // 1 <= result <= 63 for v > 0
+}
+
+// BucketBounds returns the half-open range [lo, hi) of values mapped
+// to bucket i, for tests and external renderers.
+func BucketBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return 0, 1
+	}
+	if i >= numBuckets-1 {
+		return 1 << (numBuckets - 2), math.MaxInt64
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// Observe records one value. Negative values are clamped to zero. Safe
+// on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		// A min of 0 is ambiguous between "never set" and "observed 0";
+		// the sentinel is resolved by count: the first observation wins
+		// the CAS from the zero value only if it is smaller, so seed
+		// explicitly when count was zero. Using max+1 encoding instead:
+		// store min+1 so 0 means unset.
+		if cur != 0 && cur <= v+1 {
+			break
+		}
+		if h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a latency in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
+
+// ObserveSince records the latency elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.ObserveDuration(time.Since(start)) }
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramValue is a snapshotted histogram with precomputed quantiles.
+// Mean, P50, P95, P99, Min, and Max are in the histogram's declared
+// unit (nanoseconds for latency histograms, bytes for size histograms).
+type HistogramValue struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Help  string  `json:"help,omitempty"`
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// snapshot computes the exported view. Concurrent observations may land
+// between the bucket reads; quantiles are computed over the bucket
+// counts actually read, so the result is always internally consistent
+// to within the in-flight observations.
+func (h *Histogram) snapshot() HistogramValue {
+	var v HistogramValue
+	if h == nil {
+		return v
+	}
+	var counts [numBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	v.Count = total
+	v.Sum = h.sum.Load()
+	if total == 0 {
+		return v
+	}
+	v.Mean = float64(v.Sum) / float64(total)
+	if m := h.min.Load(); m > 0 {
+		v.Min = m - 1 // undo the +1 unset-sentinel encoding
+	}
+	v.Max = h.max.Load()
+	v.P50 = quantile(&counts, total, 0.50)
+	v.P95 = quantile(&counts, total, 0.95)
+	v.P99 = quantile(&counts, total, 0.99)
+	// Interpolation can exceed the true extremes; clamp to observed.
+	v.P50 = clampF(v.P50, float64(v.Min), float64(v.Max))
+	v.P95 = clampF(v.P95, float64(v.Min), float64(v.Max))
+	v.P99 = clampF(v.P99, float64(v.Min), float64(v.Max))
+	return v
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// quantile estimates the q-quantile (0 < q < 1) by walking the buckets
+// and linearly interpolating within the bucket containing the target
+// rank.
+func quantile(counts *[numBuckets]int64, total int64, q float64) float64 {
+	target := q * float64(total)
+	cum := float64(0)
+	for i := 0; i < numBuckets; i++ {
+		c := float64(counts[i])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo, hi := BucketBounds(i)
+			frac := (target - cum) / c
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += c
+	}
+	lo, _ := BucketBounds(numBuckets - 1)
+	return float64(lo)
+}

@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mmdb/internal/addr"
 	"mmdb/internal/lock"
+	"mmdb/internal/metrics"
 	"mmdb/internal/mm"
 	"mmdb/internal/wal"
 )
@@ -56,6 +58,12 @@ type Manager struct {
 	// the facade can record it in the catalogs.
 	OnPartAlloc func(t *Txn, pid addr.PartitionID) error
 
+	// CommitLatency, if set (before the manager is shared), observes
+	// the begin-to-commit wall time of every committed transaction.
+	// Nil-safe; left nil by unit tests that construct the manager
+	// directly.
+	CommitLatency *metrics.Histogram
+
 	mu    sync.Mutex
 	owned map[addr.PartitionID]uint64 // uncommitted new partitions
 }
@@ -80,7 +88,7 @@ func (m *Manager) Locks() *lock.Manager { return m.locks }
 func (m *Manager) Begin() *Txn {
 	id := m.NextID()
 	m.sink.BeginTxn(id)
-	return &Txn{m: m, id: id, pendingDel: make(map[addr.EntityAddr]bool)}
+	return &Txn{m: m, id: id, start: time.Now(), pendingDel: make(map[addr.EntityAddr]bool)}
 }
 
 func (m *Manager) ownerOf(pid addr.PartitionID) (uint64, bool) {
@@ -128,6 +136,7 @@ type undoEntry struct {
 type Txn struct {
 	m          *Manager
 	id         uint64
+	start      time.Time
 	undo       []undoEntry // the volatile UNDO space
 	pendingDel map[addr.EntityAddr]bool
 	newParts   []addr.PartitionID
@@ -448,6 +457,7 @@ func (t *Txn) Commit() error {
 	}
 	t.done = true
 	t.m.locks.ReleaseAll(t.id)
+	t.m.CommitLatency.ObserveSince(t.start)
 	return nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"mmdb/internal/core"
 	"mmdb/internal/heap"
 	"mmdb/internal/lock"
+	"mmdb/internal/metrics"
 	"mmdb/internal/mm"
 	"mmdb/internal/simdisk"
 	"mmdb/internal/txn"
@@ -44,8 +45,16 @@ type Config = core.Config
 // DefaultConfig returns the paper's environment.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
-// Stats exposes recovery-component counters.
+// Stats exposes recovery-component counters. It is a compatibility
+// shim over the metrics registry; prefer Metrics, which also carries
+// latency distributions.
 type Stats = core.Stats
+
+// MetricsSnapshot is a point-in-time copy of every instrument in the
+// database's metrics registry: per-subsystem counters, gauges, and
+// latency histograms with p50/p95/p99. It is plain data — safe to
+// retain, compare, and marshal to JSON.
+type MetricsSnapshot = metrics.Snapshot
 
 // Hardware is the crash-surviving hardware bundle.
 type Hardware = core.Hardware
@@ -468,8 +477,17 @@ func (db *DB) loadCatalogs() error {
 	return nil
 }
 
-// Stats returns recovery-component counters.
+// Stats returns recovery-component counters. The counters are read
+// from the same registry Metrics snapshots; Stats remains for callers
+// that only need totals.
 func (db *DB) Stats() Stats { return db.mgr.Stats() }
+
+// Metrics captures every instrument of this database instance:
+// commit and lock-wait latency, SLB record-write and log-page-flush
+// latency, checkpoint duration and image sizes, restart phase timings,
+// and the associated event counters. See docs/METRICS.md for the full
+// metric list and the paper claims each one validates.
+func (db *DB) Metrics() MetricsSnapshot { return db.mgr.MetricsSnapshot() }
 
 // Manager exposes the recovery component (benchmarks, tools).
 func (db *DB) Manager() *core.Manager { return db.mgr }
