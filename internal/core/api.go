@@ -172,6 +172,11 @@ func (m *Manager) WaitIdle() {
 		if !busy {
 			return
 		}
+		if m.inj.Crashed() {
+			// The simulated machine halted: the committed list will
+			// never drain until restart, so waiting is pointless.
+			return
+		}
 		select {
 		case <-m.stop:
 			return

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"sync"
 
 	"mmdb/internal/simdisk"
@@ -98,10 +99,13 @@ func (a *AuditTrail) Append(e AuditEntry) error {
 	if a.st.buf.Remaining() < len(enc) {
 		a.spoolLocked()
 	}
-	if !a.st.buf.Append(enc) {
-		// Entry larger than the whole buffer: spool it directly.
-		a.tape.Append(append([]byte{simdisk.TapeKindAudit}, enc...))
-		return nil
+	if err := a.st.buf.Append(enc); err != nil {
+		if errors.Is(err, stablemem.ErrNoSpace) {
+			// Entry larger than the whole buffer: spool it directly.
+			a.tape.Append(append([]byte{simdisk.TapeKindAudit}, enc...))
+			return nil
+		}
+		return err
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"mmdb/internal/addr"
 	"mmdb/internal/catalog"
+	"mmdb/internal/fault"
 	"mmdb/internal/lock"
 	"mmdb/internal/simdisk"
 	"mmdb/internal/wal"
@@ -163,6 +164,9 @@ func (m *Manager) runCheckpoint(req *ckptReq) error {
 			return err
 		}
 	}
+	if err := m.faultPoint(fault.PointCkptAfterFence); err != nil {
+		return err
+	}
 	p, err := m.store.Partition(pid)
 	if err != nil {
 		return err
@@ -199,6 +203,10 @@ func (m *Manager) runCheckpoint(req *ckptReq) error {
 			return err
 		}
 	}
+	if err := m.faultPoint(fault.PointCkptAfterImage); err != nil {
+		m.dmap.free(track)
+		return err
+	}
 	// Catalog partitions' locations must always be findable: refresh
 	// the root copies and write the root to the log disk (§2.5).
 	if pid.Segment == addr.SegRelationCatalog || pid.Segment == addr.SegIndexCatalog {
@@ -215,6 +223,10 @@ func (m *Manager) runCheckpoint(req *ckptReq) error {
 			m.dmap.free(track)
 			return err
 		}
+	}
+	if err := m.faultPoint(fault.PointCkptBeforeCommit); err != nil {
+		m.dmap.free(track)
+		return err
 	}
 	if err := t.Commit(); err != nil {
 		m.dmap.free(track)

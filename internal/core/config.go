@@ -9,6 +9,7 @@
 package core
 
 import (
+	"mmdb/internal/fault"
 	"mmdb/internal/model"
 	"mmdb/internal/simdisk"
 )
@@ -57,6 +58,12 @@ type Config struct {
 	// before binning them, shrinking the log at the cost of some
 	// sorter CPU.
 	ChangeAccumulation bool
+	// FaultInjector, when non-nil, is threaded through the storage
+	// stack (log disks, checkpoint disk, stable memory, checkpoint
+	// transaction steps) so tests and the crashhunt sweep can crash,
+	// tear, or corrupt I/O at named fault points. Nil costs one branch
+	// per instrumented operation.
+	FaultInjector *fault.Injector
 }
 
 // DefaultConfig returns the paper's environment: 48 KB partitions, 8 KB

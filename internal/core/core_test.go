@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mmdb/internal/addr"
+	"mmdb/internal/fault"
 	"mmdb/internal/lock"
 	"mmdb/internal/mm"
 	"mmdb/internal/simdisk"
@@ -43,6 +44,9 @@ func testCfg() Config {
 	cfg.CheckpointTracks = 256
 	cfg.StableBytes = 8 << 20
 	cfg.BackgroundRecovery = false
+	// Every harness carries an (initially empty) injector so crashes go
+	// through the same fault machinery as the crashhunt sweeps.
+	cfg.FaultInjector = fault.NewInjector(fault.Plan{})
 	return cfg
 }
 
@@ -104,10 +108,14 @@ func (h *harness) attach() {
 	h.mu.Unlock()
 }
 
-// crash stops the manager, discards all volatile state, and re-attaches
-// a fresh one over the surviving hardware, running Restart + Resume.
+// crash halts the simulated machine through the fault injector — every
+// in-flight device operation fails from that instant — then discards
+// all volatile state and re-attaches a fresh Manager over the surviving
+// hardware, running Restart + Resume as a real power cycle would.
 func (h *harness) crash() {
+	h.cfg.FaultInjector.ForceCrash()
 	h.m.Stop()
+	h.cfg.FaultInjector.Reset() // power back on with a clean slate
 	h.attach()
 	if _, err := h.m.Restart(); err != nil {
 		h.t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mmdb/internal/addr"
+	"mmdb/internal/fault"
 	"mmdb/internal/lock"
 	"mmdb/internal/mm"
 	"mmdb/internal/simdisk"
@@ -85,6 +86,10 @@ type Manager struct {
 	cb    Callbacks
 	Hooks Hooks
 
+	// inj is the optional fault injector from Config; nil when fault
+	// injection is off.
+	inj *fault.Injector
+
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	drainCh  chan drainMsg
@@ -128,7 +133,29 @@ func New(hw *Hardware, cfg Config, store *mm.Store, locks *lock.Manager) (*Manag
 	locks.DeadlockCount = mt.Deadlocks
 	m.Txns = txn.NewManager(store, locks, &sinkWrapper{m: m})
 	m.Txns.CommitLatency = mt.CommitLatency
+	// Thread the fault injector through the crash-surviving devices
+	// (re-wired on every recovery generation, since the hardware
+	// outlives managers) and surface its activity in this generation's
+	// registry. A nil injector detaches everything.
+	m.inj = cfg.FaultInjector
+	hw.Stable.SetInjector(m.inj)
+	hw.Log.Primary.SetInjector(m.inj, fault.PointLogWritePrimary, fault.PointLogReadPrimary)
+	hw.Log.Mirror.SetInjector(m.inj, fault.PointLogWriteMirror, fault.PointLogReadMirror)
+	hw.Ckpt.SetInjector(m.inj)
+	hw.Log.Fallbacks = mt.DuplexFallbacks
+	hw.Log.Repairs = mt.DuplexRepairs
+	m.inj.SetCounters(fault.Counters{
+		Armed:      mt.FaultsArmed,
+		Triggered:  mt.FaultsTriggered,
+		TornWrites: mt.FaultTornWrites,
+	})
 	return m, nil
+}
+
+// faultPoint evaluates a control fault point (no payload bytes),
+// returning the injected error if a rule fires there.
+func (m *Manager) faultPoint(p fault.Point) error {
+	return m.inj.Check(p, 0).Err
 }
 
 // sinkWrapper counts commits/aborts on top of the SLB sink.
@@ -253,18 +280,29 @@ func (m *Manager) drainCommitted() {
 // remain.
 func (m *Manager) drainSome(n int) bool {
 	for i := 0; i < n; i++ {
-		c := m.slb.popCommitted()
+		c := m.slb.peekCommitted()
 		if c == nil {
 			return false
 		}
 		if err := m.sortChain(c); err != nil {
-			// Stable memory exhaustion is the only expected cause;
-			// pushing the chain back and stalling would deadlock the
-			// simulation, so surface loudly.
+			if fault.IsFault(err) {
+				// An injected device fault interrupted sorting. The
+				// chain is still on the committed list, so nothing is
+				// lost: a crash leaves it for the restart drain, and a
+				// transient error retries on the next nudge (the
+				// partially sorted prefix duplicates are absorbed by
+				// lenient replay, like the restart re-sort path).
+				if !fault.IsCrash(err) {
+					nudge(m.slb.commitCh)
+				}
+				return false
+			}
+			// Stable memory exhaustion is the only other expected
+			// cause; pushing the chain back and stalling would deadlock
+			// the simulation, so surface loudly.
 			panic(fmt.Sprintf("core: sortChain: %v", err))
 		}
-		c.sorted = true
-		c.free()
+		m.slb.markSorted(c)
 	}
 	return true
 }
@@ -355,9 +393,9 @@ func (m *Manager) sortRecord(r *wal.Record) error {
 		}
 		b.cur = blk
 	}
-	if !b.cur.Append(enc) {
+	if err := b.cur.Append(enc); err != nil {
 		s.st.mu.Unlock()
-		return fmt.Errorf("core: log page append failed for %d-byte record", len(enc))
+		return fmt.Errorf("core: log page append of %d-byte record: %w", len(enc), err)
 	}
 	b.curCount++
 	b.updateCount++
@@ -478,7 +516,15 @@ func (m *Manager) archiveLocked(tail simdisk.LSN) {
 	for lsn := m.slt.st.lastArchived + 1; lsn <= limit; lsn++ {
 		page, err := m.hw.Log.Read(lsn)
 		if err != nil {
-			// Already dropped or never written; skip.
+			if fault.IsFault(err) {
+				// Injected fault (or the crash itself): stop here so
+				// the unarchived suffix is retried next round rather
+				// than dropped with a hole.
+				limit = lsn - 1
+				break
+			}
+			// Already dropped or never written (a permanent hole left
+			// by a crashed append); skip.
 			continue
 		}
 		m.hw.Tape.Append(append([]byte{simdisk.TapeKindLogPage}, page...))

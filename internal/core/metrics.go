@@ -63,6 +63,15 @@ type Metrics struct {
 	// lock — contention on the 2PL substrate.
 	LockWait  *metrics.Histogram
 	Deadlocks *metrics.Counter
+
+	// fault — injected-fault activity plus the §2.2 duplexed-log repair
+	// path (mirror fallback reads and bad-copy rewrites), which only
+	// fires when a spindle's copy is damaged or missing.
+	FaultsArmed     *metrics.Counter
+	FaultsTriggered *metrics.Counter
+	FaultTornWrites *metrics.Counter
+	DuplexFallbacks *metrics.Counter
+	DuplexRepairs   *metrics.Counter
 }
 
 // newMetrics builds the instrument set on a fresh registry.
@@ -74,6 +83,7 @@ func newMetrics() *Metrics {
 	ckpt := reg.Subsystem("checkpoint")
 	restart := reg.Subsystem("restart")
 	lockS := reg.Subsystem("lock")
+	faultS := reg.Subsystem("fault")
 	return &Metrics{
 		reg: reg,
 
@@ -116,6 +126,12 @@ func newMetrics() *Metrics {
 		LockWait: lockS.Histogram("wait", "ns",
 			"time transactions spend blocked on 2PL lock queues"),
 		Deadlocks: lockS.Counter("deadlocks", "events", "waits-for cycles resolved by victim abort"),
+
+		FaultsArmed:     faultS.Counter("armed", "rules", "fault rules armed via injector plans"),
+		FaultsTriggered: faultS.Counter("triggered", "firings", "fault rule firings (crashes, I/O errors, corruptions)"),
+		FaultTornWrites: faultS.Counter("torn_writes", "writes", "writes torn at a byte boundary by an injected crash"),
+		DuplexFallbacks: faultS.Counter("duplex_fallbacks", "reads", "log reads served by the mirror after a primary error (§2.2)"),
+		DuplexRepairs:   faultS.Counter("duplex_repairs", "pages", "damaged/missing log-disk copies rewritten from the healthy spindle (§2.2)"),
 	}
 }
 

@@ -76,6 +76,17 @@ func (m *Manager) DrainStableOnly() {
 		b.fenceActive = false
 		b.fencePages = 0
 		b.fenceUpdates = 0
+		// A crash torn mid-append can leave an undecodable record tail
+		// in the bin's current page buffer; cut it back to the last
+		// whole record so the restart re-sort appends cleanly. The torn
+		// record's transaction chain is still on the committed list
+		// (chains leave the SLB only after a full sort), so the record
+		// is re-sorted, not lost.
+		if b.cur != nil && b.cur.Len() > 0 {
+			if n := wal.ValidPrefix(b.cur.Bytes()); n < b.cur.Len() {
+				b.cur.Truncate(n)
+			}
+		}
 	}
 	m.slt.st.mu.Unlock()
 	// Duplicates from partially sorted chains are absorbed by lenient

@@ -146,8 +146,8 @@ func (s *slb) WriteRecord(rec *wal.Record) error {
 		}
 		c.blocks = append(c.blocks, b)
 	}
-	if !c.blocks[len(c.blocks)-1].Append(enc) {
-		return fmt.Errorf("core: SLB block append failed unexpectedly")
+	if err := c.blocks[len(c.blocks)-1].Append(enc); err != nil {
+		return fmt.Errorf("core: SLB block append: %w", err)
 	}
 	return nil
 }
@@ -186,17 +186,33 @@ func (s *slb) AbortTxn(id uint64) {
 	}
 }
 
-// popCommitted removes and returns the oldest committed, unsorted
-// chain, or nil.
-func (s *slb) popCommitted() *txnChain {
+// peekCommitted returns the oldest committed, unsorted chain without
+// removing it, or nil. The chain stays on the committed list until
+// markSorted, so a crash mid-sort cannot lose committed records: the
+// restart drain re-sorts the whole chain and lenient replay absorbs
+// the duplicated prefix.
+func (s *slb) peekCommitted() *txnChain {
 	s.st.mu.Lock()
 	defer s.st.mu.Unlock()
 	if len(s.st.committed) == 0 {
 		return nil
 	}
-	c := s.st.committed[0]
-	s.st.committed = s.st.committed[1:]
-	return c
+	return s.st.committed[0]
+}
+
+// markSorted removes a fully sorted chain from the committed list and
+// frees its stable blocks.
+func (s *slb) markSorted(c *txnChain) {
+	s.st.mu.Lock()
+	c.sorted = true
+	for i, x := range s.st.committed {
+		if x == c {
+			s.st.committed = append(s.st.committed[:i], s.st.committed[i+1:]...)
+			break
+		}
+	}
+	s.st.mu.Unlock()
+	c.free()
 }
 
 // discardUncommitted drops every uncommitted chain; called on restart,

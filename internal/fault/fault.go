@@ -1,0 +1,530 @@
+// Package fault is the deterministic fault-injection subsystem of the
+// recovery architecture's test harness. The paper's guarantees rest on
+// hardware behaviors the simulation otherwise trusts blindly — duplexed
+// log disks that mask bad sectors (§2.2), stable memory that survives
+// arbitrary crashes, and a restart phase that must be correct no matter
+// when the system dies — so this package lets tests and the crashhunt
+// sweep die (or limp) at adversarially chosen points.
+//
+// The model:
+//
+//   - every instrumented hardware operation is a named fault Point
+//     (e.g. "log.write.primary", "stable.append");
+//   - an Injector counts hits per point and evaluates programmable
+//     Rules: crash at the Nth hit of point P (before, after, or midway
+//     through a write, tearing it at a byte boundary), fail N times
+//     then succeed, or silently corrupt the medium;
+//   - a Plan (seed + rules) is fully serialisable, so any failing sweep
+//     run is reproducible from its one-line plan string;
+//   - a crash is global: once a crash rule fires (or ForceCrash is
+//     called), every subsequent instrumented operation fails with
+//     ErrCrashed until Reset/ClearCrash — no I/O reaches any medium on
+//     a halted machine.
+//
+// A nil *Injector is the zero-cost off state: every method is
+// nil-receiver safe and hot paths pay a single branch.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mmdb/internal/metrics"
+)
+
+// Point names one instrumented hardware operation.
+type Point string
+
+// The fault-point catalog. See docs/FAULTS.md for what each point
+// covers and which actions are meaningful on it.
+const (
+	// Duplexed log disk writes: one point per spindle, hit once per
+	// page write (bin page flushes, catalog root pages, repairs).
+	PointLogWritePrimary Point = "log.write.primary"
+	PointLogWriteMirror  Point = "log.write.mirror"
+	// Log disk reads: recovery replay and archive rollover.
+	PointLogReadPrimary Point = "log.read.primary"
+	PointLogReadMirror  Point = "log.read.mirror"
+	// Checkpoint disk track I/O.
+	PointCkptWrite Point = "ckpt.write"
+	PointCkptRead  Point = "ckpt.read"
+	// Stable memory block appends: SLB record writes and SLT bin page
+	// buffer writes.
+	PointStableAppend Point = "stable.append"
+	// Checkpoint transaction steps (§2.4): the dangerous windows
+	// between fence, image write, and commit.
+	PointCkptAfterFence   Point = "ckpt.after-fence"
+	PointCkptAfterImage   Point = "ckpt.after-image"
+	PointCkptBeforeCommit Point = "ckpt.before-commit"
+)
+
+// AllPoints lists every defined fault point.
+func AllPoints() []Point {
+	return []Point{
+		PointLogWritePrimary, PointLogWriteMirror,
+		PointLogReadPrimary, PointLogReadMirror,
+		PointCkptWrite, PointCkptRead,
+		PointStableAppend,
+		PointCkptAfterFence, PointCkptAfterImage, PointCkptBeforeCommit,
+	}
+}
+
+// Errors surfaced by injected faults. Devices return them verbatim so
+// callers can classify failures with IsFault / IsCrash.
+var (
+	// ErrCrashed means the simulated machine has halted: the op did not
+	// complete and no further I/O will until the injector is reset.
+	ErrCrashed = errors.New("fault: system crashed at injected fault point")
+	// ErrInjected is a transient injected I/O error; the system keeps
+	// running and retries are expected to succeed once the rule expires.
+	ErrInjected = errors.New("fault: injected I/O error")
+)
+
+// IsFault reports whether err originates from the injector.
+func IsFault(err error) bool {
+	return errors.Is(err, ErrCrashed) || errors.Is(err, ErrInjected)
+}
+
+// IsCrash reports whether err is the injector's machine-halt error.
+func IsCrash(err error) bool { return errors.Is(err, ErrCrashed) }
+
+// Act is the action a rule takes when it fires.
+type Act uint8
+
+const (
+	actInvalid Act = iota
+	// ActCrashBefore halts the machine before the operation touches
+	// the medium: nothing is applied.
+	ActCrashBefore
+	// ActCrashAfter halts the machine just after the operation
+	// completed: the effect is durable but the caller never sees
+	// success.
+	ActCrashAfter
+	// ActCrashTorn halts the machine mid-write: a prefix of the
+	// payload reaches the medium and (for disks) the sector is left
+	// with bad ECC.
+	ActCrashTorn
+	// ActIOErr fails the operation transiently; the system continues.
+	ActIOErr
+	// ActCorrupt lets the operation "succeed" while damaging the
+	// medium: a latent bad sector discovered on a later read.
+	ActCorrupt
+)
+
+var actNames = map[Act]string{
+	ActCrashBefore: "crash",
+	ActCrashAfter:  "crash-after",
+	ActCrashTorn:   "crash-torn",
+	ActIOErr:       "ioerr",
+	ActCorrupt:     "corrupt",
+}
+
+func (a Act) String() string {
+	if s, ok := actNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("act(%d)", uint8(a))
+}
+
+// IsCrash reports whether the act halts the machine.
+func (a Act) IsCrash() bool {
+	return a == ActCrashBefore || a == ActCrashAfter || a == ActCrashTorn
+}
+
+func parseAct(s string) (Act, error) {
+	for a, n := range actNames {
+		if n == s {
+			return a, nil
+		}
+	}
+	return actInvalid, fmt.Errorf("fault: unknown act %q", s)
+}
+
+// Rule is one programmed fault: starting at the Hit-th hit of Point,
+// apply Act to Count consecutive hits.
+type Rule struct {
+	Point Point
+	// Hit is the 1-based hit index at which the rule starts firing.
+	Hit int
+	// Count is how many consecutive hits fire; 0 means 1, negative
+	// means every hit from Hit on.
+	Count int
+	Act   Act
+	// Torn is the number of payload bytes applied before an
+	// ActCrashTorn halt; negative derives a deterministic size from
+	// the plan seed, the hit index, and the payload length.
+	Torn int
+}
+
+func (r Rule) matches(hit int64) bool {
+	if hit < int64(r.Hit) {
+		return false
+	}
+	if r.Count < 0 {
+		return true
+	}
+	n := r.Count
+	if n == 0 {
+		n = 1
+	}
+	return hit < int64(r.Hit)+int64(n)
+}
+
+// String renders the rule in plan syntax: point@hit[+count]:act[:torn].
+func (r Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%d", r.Point, r.Hit)
+	if r.Count < 0 {
+		b.WriteString("+*")
+	} else if r.Count > 1 {
+		fmt.Fprintf(&b, "+%d", r.Count)
+	}
+	fmt.Fprintf(&b, ":%s", r.Act)
+	if r.Act == ActCrashTorn && r.Torn >= 0 {
+		fmt.Fprintf(&b, ":%d", r.Torn)
+	}
+	return b.String()
+}
+
+// Plan is a complete, reproducible fault schedule.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// String renders the plan as a one-line reproducer, e.g.
+// "seed=1;log.write.primary@3:crash-torn:17,ckpt.write@2:ioerr".
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", p.Seed)
+	for i, r := range p.Rules {
+		if i == 0 {
+			b.WriteByte(';')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// ParsePlan parses the Plan.String format.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	head, rest, _ := strings.Cut(strings.TrimSpace(s), ";")
+	if !strings.HasPrefix(head, "seed=") {
+		return p, fmt.Errorf("fault: plan must start with seed=<n>, got %q", head)
+	}
+	seed, err := strconv.ParseInt(strings.TrimPrefix(head, "seed="), 10, 64)
+	if err != nil {
+		return p, fmt.Errorf("fault: bad seed in %q: %v", head, err)
+	}
+	p.Seed = seed
+	if rest == "" {
+		return p, nil
+	}
+	for _, rs := range strings.Split(rest, ",") {
+		r, err := parseRule(rs)
+		if err != nil {
+			return p, err
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	return p, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	var r Rule
+	r.Torn = -1
+	pointPart, actPart, ok := strings.Cut(s, ":")
+	if !ok {
+		return r, fmt.Errorf("fault: rule %q missing act", s)
+	}
+	pt, hitPart, ok := strings.Cut(pointPart, "@")
+	if !ok {
+		return r, fmt.Errorf("fault: rule %q missing @hit", s)
+	}
+	r.Point = Point(pt)
+	hitStr, countStr, hasCount := strings.Cut(hitPart, "+")
+	hit, err := strconv.Atoi(hitStr)
+	if err != nil || hit < 1 {
+		return r, fmt.Errorf("fault: bad hit index in rule %q", s)
+	}
+	r.Hit = hit
+	if hasCount {
+		if countStr == "*" {
+			r.Count = -1
+		} else if r.Count, err = strconv.Atoi(countStr); err != nil || r.Count < 1 {
+			return r, fmt.Errorf("fault: bad count in rule %q", s)
+		}
+	}
+	actStr, tornStr, hasTorn := strings.Cut(actPart, ":")
+	if r.Act, err = parseAct(actStr); err != nil {
+		return r, err
+	}
+	if hasTorn {
+		if r.Torn, err = strconv.Atoi(tornStr); err != nil || r.Torn < 0 {
+			return r, fmt.Errorf("fault: bad torn size in rule %q", s)
+		}
+	}
+	return r, nil
+}
+
+// Decision tells an instrumented operation what to do. The zero value
+// means "proceed normally".
+type Decision struct {
+	// Err, when non-nil, is returned by the operation (ErrCrashed or
+	// ErrInjected).
+	Err error
+	// Apply is how many payload bytes reach the medium before Err is
+	// raised: -1 means all (the default), 0 none, otherwise a torn
+	// prefix.
+	Apply int
+	// MarkBad flags the written sector/track as damaged (bad ECC): a
+	// later read of it fails until it is rewritten.
+	MarkBad bool
+}
+
+// proceed is the no-fault decision.
+var proceed = Decision{Apply: -1}
+
+// ApplyBytes resolves Apply against an n-byte payload.
+func (d Decision) ApplyBytes(n int) int {
+	if d.Apply < 0 || d.Apply > n {
+		return n
+	}
+	return d.Apply
+}
+
+// Counters are the observability hooks the recovery component wires
+// into its metrics registry; all fields are optional and nil-safe.
+type Counters struct {
+	Armed      *metrics.Counter // rules armed via plans
+	Triggered  *metrics.Counter // rule firings
+	TornWrites *metrics.Counter // writes torn at a byte boundary
+}
+
+// Injector evaluates a Plan against named fault points. All methods
+// are safe on a nil receiver (the off state) and for concurrent use.
+type Injector struct {
+	crashed atomic.Bool
+
+	mu       sync.Mutex
+	seed     int64
+	rules    map[Point][]Rule
+	hits     map[Point]int64
+	fired    int64
+	counters Counters
+}
+
+// NewInjector creates an injector armed with plan (an empty plan gives
+// a pure hit-counting injector).
+func NewInjector(plan Plan) *Injector {
+	in := &Injector{hits: make(map[Point]int64)}
+	in.Arm(plan)
+	return in
+}
+
+// Arm replaces the injector's rules and seed with plan's. Hit counters
+// are preserved; use Reset for a fully fresh start.
+func (in *Injector) Arm(plan Plan) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.seed = plan.Seed
+	in.rules = make(map[Point][]Rule, len(plan.Rules))
+	for _, r := range plan.Rules {
+		in.rules[r.Point] = append(in.rules[r.Point], r)
+	}
+	c := in.counters
+	in.mu.Unlock()
+	c.Armed.Add(int64(len(plan.Rules)))
+}
+
+// Disarm removes every rule but keeps counting hits.
+func (in *Injector) Disarm() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.rules = nil
+	in.mu.Unlock()
+}
+
+// Reset disarms, clears the crash flag, and zeroes hit counters: the
+// machine is powered back on with a fresh injector.
+func (in *Injector) Reset() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.rules = nil
+	in.hits = make(map[Point]int64)
+	in.fired = 0
+	in.mu.Unlock()
+	in.crashed.Store(false)
+}
+
+// ClearCrash clears the crash flag but keeps rules and hit counters:
+// used when recovery itself is under fault injection, so rules whose
+// hit indexes fall in the recovery phase can still fire.
+func (in *Injector) ClearCrash() {
+	if in == nil {
+		return
+	}
+	in.crashed.Store(false)
+}
+
+// ForceCrash halts the machine immediately: every subsequent
+// instrumented operation fails with ErrCrashed. DB.Crash uses it to
+// make the simulated failure sharp even with I/O in flight.
+func (in *Injector) ForceCrash() {
+	if in == nil {
+		return
+	}
+	in.crashed.Store(true)
+}
+
+// Crashed reports whether the machine has halted.
+func (in *Injector) Crashed() bool { return in != nil && in.crashed.Load() }
+
+// Triggered returns how many rule firings have occurred since the last
+// Reset.
+func (in *Injector) Triggered() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Hits returns a copy of the per-point hit counters.
+func (in *Injector) Hits() map[Point]int64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Point]int64, len(in.hits))
+	for p, n := range in.hits {
+		out[p] = n
+	}
+	return out
+}
+
+// HitPoints returns the points hit at least once, sorted, with counts.
+func (in *Injector) HitPoints() []struct {
+	Point Point
+	Hits  int64
+} {
+	m := in.Hits()
+	out := make([]struct {
+		Point Point
+		Hits  int64
+	}, 0, len(m))
+	for p, n := range m {
+		out = append(out, struct {
+			Point Point
+			Hits  int64
+		}{p, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
+	return out
+}
+
+// SetCounters wires metrics counters in; the currently armed rule count
+// is reported as armed on the (fresh) registry.
+func (in *Injector) SetCounters(c Counters) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.counters = c
+	n := 0
+	for _, rs := range in.rules {
+		n += len(rs)
+	}
+	in.mu.Unlock()
+	c.Armed.Add(int64(n))
+}
+
+// Check is the hot-path hook instrumented operations call: it counts
+// the hit, evaluates rules, and returns the decision. size is the
+// payload length (0 for control points). Nil-safe.
+func (in *Injector) Check(p Point, size int) Decision {
+	if in == nil {
+		return proceed
+	}
+	if in.crashed.Load() {
+		return Decision{Err: ErrCrashed}
+	}
+	in.mu.Lock()
+	hit := in.hits[p] + 1
+	in.hits[p] = hit
+	var match *Rule
+	for i := range in.rules[p] {
+		if in.rules[p][i].matches(hit) {
+			match = &in.rules[p][i]
+			break
+		}
+	}
+	if match == nil {
+		in.mu.Unlock()
+		return proceed
+	}
+	in.fired++
+	c := in.counters
+	seed := in.seed
+	r := *match
+	in.mu.Unlock()
+
+	c.Triggered.Inc()
+	d := proceed
+	switch r.Act {
+	case ActCrashBefore:
+		in.crashed.Store(true)
+		d = Decision{Err: ErrCrashed, Apply: 0}
+	case ActCrashAfter:
+		in.crashed.Store(true)
+		d = Decision{Err: ErrCrashed, Apply: -1}
+	case ActCrashTorn:
+		in.crashed.Store(true)
+		torn := r.Torn
+		if torn < 0 {
+			torn = tornSize(seed, p, hit, size)
+		}
+		if torn > size {
+			torn = size
+		}
+		c.TornWrites.Inc()
+		d = Decision{Err: ErrCrashed, Apply: torn, MarkBad: true}
+	case ActIOErr:
+		d = Decision{Err: ErrInjected, Apply: 0}
+	case ActCorrupt:
+		d = Decision{Apply: -1, MarkBad: true}
+	}
+	return d
+}
+
+// tornSize derives a deterministic tear offset in [0, size) from the
+// plan seed, the point, and the hit index — no shared RNG state, so
+// concurrent hits cannot perturb each other's draws.
+func tornSize(seed int64, p Point, hit int64, size int) int {
+	if size <= 0 {
+		return 0
+	}
+	h := uint64(seed) * 0x9E3779B97F4A7C15
+	for _, b := range []byte(p) {
+		h = (h ^ uint64(b)) * 0x100000001B3
+	}
+	h ^= uint64(hit) * 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(size))
+}

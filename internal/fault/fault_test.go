@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"testing"
+
+	"mmdb/internal/metrics"
+)
+
+func TestPlanStringRoundTrip(t *testing.T) {
+	plans := []Plan{
+		{Seed: 1},
+		{Seed: 42, Rules: []Rule{{Point: PointLogWritePrimary, Hit: 3, Act: ActCrashBefore, Torn: -1}}},
+		{Seed: -7, Rules: []Rule{
+			{Point: PointCkptWrite, Hit: 2, Count: 3, Act: ActIOErr, Torn: -1},
+			{Point: PointStableAppend, Hit: 5, Act: ActCrashTorn, Torn: 17},
+			{Point: PointLogReadMirror, Hit: 1, Count: -1, Act: ActCorrupt, Torn: -1},
+			{Point: PointLogWriteMirror, Hit: 9, Act: ActCrashAfter, Torn: -1},
+		}},
+	}
+	for _, p := range plans {
+		s := p.String()
+		got, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", s, err)
+		}
+		if got.String() != s {
+			t.Fatalf("round trip mismatch: %q -> %q", s, got.String())
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"nonsense",
+		"seed=x",
+		"seed=1;p@0:crash",
+		"seed=1;p:crash",
+		"seed=1;p@1:blowup",
+		"seed=1;p@1+0:crash",
+		"seed=1;p@1:crash-torn:-3",
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	d := in.Check(PointLogWritePrimary, 100)
+	if d.Err != nil || d.ApplyBytes(100) != 100 || d.MarkBad {
+		t.Fatalf("nil injector produced non-trivial decision: %+v", d)
+	}
+	if in.Crashed() {
+		t.Fatal("nil injector reports crashed")
+	}
+	in.ForceCrash()
+	in.Reset()
+	in.ClearCrash()
+	in.Arm(Plan{})
+	in.Disarm()
+	in.SetCounters(Counters{})
+	if in.Hits() != nil || in.Triggered() != 0 {
+		t.Fatal("nil injector has state")
+	}
+}
+
+func TestCrashAtNthHit(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Rules: []Rule{
+		{Point: PointLogWritePrimary, Hit: 3, Act: ActCrashBefore},
+	}})
+	for i := 1; i <= 2; i++ {
+		if d := in.Check(PointLogWritePrimary, 10); d.Err != nil {
+			t.Fatalf("hit %d unexpectedly faulted: %v", i, d.Err)
+		}
+	}
+	d := in.Check(PointLogWritePrimary, 10)
+	if !IsCrash(d.Err) || d.ApplyBytes(10) != 0 {
+		t.Fatalf("hit 3 should crash-before, got %+v", d)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not crashed after crash rule fired")
+	}
+	// All subsequent ops on any point fail while crashed.
+	if d := in.Check(PointCkptWrite, 5); !IsCrash(d.Err) {
+		t.Fatalf("post-crash op did not fail: %+v", d)
+	}
+	in.ClearCrash()
+	if d := in.Check(PointLogWritePrimary, 10); d.Err != nil {
+		t.Fatalf("rule should be spent after ClearCrash: %+v", d)
+	}
+}
+
+func TestFailOnceThenSucceed(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Rules: []Rule{
+		{Point: PointCkptWrite, Hit: 1, Count: 2, Act: ActIOErr},
+	}})
+	for i := 1; i <= 2; i++ {
+		d := in.Check(PointCkptWrite, 8)
+		if !IsFault(d.Err) || IsCrash(d.Err) {
+			t.Fatalf("hit %d: want transient error, got %+v", i, d)
+		}
+	}
+	if d := in.Check(PointCkptWrite, 8); d.Err != nil {
+		t.Fatalf("hit 3 should succeed: %+v", d)
+	}
+	if in.Crashed() {
+		t.Fatal("transient error must not crash the machine")
+	}
+}
+
+func TestTornWriteDeterministic(t *testing.T) {
+	mk := func() *Injector {
+		return NewInjector(Plan{Seed: 99, Rules: []Rule{
+			{Point: PointStableAppend, Hit: 2, Act: ActCrashTorn, Torn: -1},
+		}})
+	}
+	a, b := mk(), mk()
+	a.Check(PointStableAppend, 64)
+	b.Check(PointStableAppend, 64)
+	da := a.Check(PointStableAppend, 64)
+	db := b.Check(PointStableAppend, 64)
+	if !IsCrash(da.Err) || !da.MarkBad {
+		t.Fatalf("torn write decision wrong: %+v", da)
+	}
+	if da.ApplyBytes(64) != db.ApplyBytes(64) {
+		t.Fatalf("torn size not deterministic: %d vs %d", da.ApplyBytes(64), db.ApplyBytes(64))
+	}
+	if n := da.ApplyBytes(64); n < 0 || n >= 64 {
+		t.Fatalf("torn size out of range: %d", n)
+	}
+	// Explicit torn size is honored and clamped.
+	in := NewInjector(Plan{Seed: 1, Rules: []Rule{
+		{Point: PointStableAppend, Hit: 1, Act: ActCrashTorn, Torn: 17},
+	}})
+	if d := in.Check(PointStableAppend, 64); d.ApplyBytes(64) != 17 {
+		t.Fatalf("explicit torn size ignored: %+v", d)
+	}
+}
+
+func TestCorruptSucceedsButMarksBad(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Rules: []Rule{
+		{Point: PointLogWriteMirror, Hit: 1, Act: ActCorrupt},
+	}})
+	d := in.Check(PointLogWriteMirror, 32)
+	if d.Err != nil || !d.MarkBad || d.ApplyBytes(32) != 32 {
+		t.Fatalf("corrupt decision wrong: %+v", d)
+	}
+	if in.Crashed() {
+		t.Fatal("corrupt must not crash")
+	}
+}
+
+func TestResetAndClearCrashSemantics(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Rules: []Rule{
+		{Point: PointLogWritePrimary, Hit: 1, Act: ActCrashBefore},
+		{Point: PointLogWritePrimary, Hit: 2, Act: ActCrashBefore},
+	}})
+	in.Check(PointLogWritePrimary, 1)
+	if !in.Crashed() {
+		t.Fatal("expected crash")
+	}
+	// ClearCrash keeps rules and hit counters: hit 2 fires next.
+	in.ClearCrash()
+	if d := in.Check(PointLogWritePrimary, 1); !IsCrash(d.Err) {
+		t.Fatalf("second rule should fire after ClearCrash: %+v", d)
+	}
+	// Reset wipes everything.
+	in.Reset()
+	if in.Crashed() || in.Triggered() != 0 || len(in.Hits()) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	if d := in.Check(PointLogWritePrimary, 1); d.Err != nil {
+		t.Fatalf("rules survived Reset: %+v", d)
+	}
+}
+
+func TestForceCrashHaltsEverything(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1})
+	in.ForceCrash()
+	for _, p := range AllPoints() {
+		if d := in.Check(p, 4); !IsCrash(d.Err) {
+			t.Fatalf("point %s survived forced crash: %+v", p, d)
+		}
+	}
+}
+
+func TestCountersWired(t *testing.T) {
+	sub := metrics.NewRegistry().Subsystem("fault")
+	armed := sub.Counter("armed", "rules", "")
+	trig := sub.Counter("triggered", "firings", "")
+	torn := sub.Counter("torn", "writes", "")
+	in := NewInjector(Plan{Seed: 5, Rules: []Rule{
+		{Point: PointStableAppend, Hit: 1, Act: ActCrashTorn, Torn: 3},
+		{Point: PointCkptWrite, Hit: 1, Act: ActIOErr},
+	}})
+	in.SetCounters(Counters{Armed: armed, Triggered: trig, TornWrites: torn})
+	if armed.Value() != 2 {
+		t.Fatalf("armed counter = %d, want 2", armed.Value())
+	}
+	in.Check(PointStableAppend, 10)
+	in.ClearCrash()
+	in.Check(PointCkptWrite, 10)
+	if trig.Value() != 2 || torn.Value() != 1 {
+		t.Fatalf("triggered=%d torn=%d, want 2/1", trig.Value(), torn.Value())
+	}
+	if in.Triggered() != 2 {
+		t.Fatalf("Triggered() = %d, want 2", in.Triggered())
+	}
+}
+
+func TestHitPointsSorted(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1})
+	in.Check(PointStableAppend, 1)
+	in.Check(PointCkptWrite, 1)
+	in.Check(PointCkptWrite, 1)
+	hp := in.HitPoints()
+	if len(hp) != 2 || hp[0].Point != PointCkptWrite || hp[0].Hits != 2 || hp[1].Point != PointStableAppend {
+		t.Fatalf("HitPoints wrong: %+v", hp)
+	}
+}

@@ -1,0 +1,778 @@
+// Package sweep is the automated crash-consistency checker built on the
+// fault injector. It drives a deterministic transactional workload
+// against an in-memory oracle of committed state, counts how often each
+// fault point is hit across a full workload–crash–recover cycle, then
+// re-runs the cycle once per enumerated fault plan — crashing, tearing,
+// corrupting, or failing the instrumented operation at a chosen hit —
+// and verifies after recovery that:
+//
+//   - every committed effect is durable (exact scan and index agreement
+//     with the oracle, per relation);
+//   - no uncommitted or deleted effect resurfaces;
+//   - the whole database passes its structural audit (CheckConsistency);
+//   - both log-disk copies agree after the duplexed-read repair pass
+//     (§2.2), with every page recovery depends on intact on both;
+//   - the recovered database still accepts and persists transactions.
+//
+// Any divergence is reported with the exact one-line fault.Plan that
+// reproduces it (crashhunt -plan "...").
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mmdb"
+	"mmdb/internal/fault"
+	"mmdb/internal/heap"
+	"mmdb/internal/simdisk"
+)
+
+// nRels is the number of relations in the workload: one T-Tree indexed,
+// one Modified Linear Hash indexed, so both index REDO paths are swept.
+const nRels = 2
+
+// maxRecoveryCycles bounds crash-during-recovery power cycles. Every
+// enumerated plan has a single finite rule, so recovery converges after
+// at most one mid-recovery crash; the bound is a backstop against a
+// recovery path that crashes the machine without consuming its rule.
+const maxRecoveryCycles = 6
+
+var sweepSchema = heap.Schema{
+	{Name: "k", Type: heap.Int64},
+	{Name: "v", Type: heap.Float64},
+	{Name: "s", Type: heap.String},
+}
+
+type row struct {
+	k int64
+	v float64
+	s string
+}
+
+// Options configure a sweep.
+type Options struct {
+	// Seed drives the workload generator and torn-write sizes.
+	Seed int64
+	// Ops is the number of workload transactions (default 400).
+	Ops int
+	// PerPoint is how many hit indexes are sampled per (point, action)
+	// pair, spread evenly over the baseline hit count (default 8).
+	PerPoint int
+	// MaxPlans caps the number of enumerated plans; 0 means no cap.
+	MaxPlans int
+	// Points restricts the sweep to a subset of fault points; empty
+	// means every defined point.
+	Points []fault.Point
+	// BreakDuplex disables the duplexed-read fallback (§2.2) before the
+	// workload: a deliberate sabotage switch demonstrating that the
+	// sweep detects a broken recovery path. It also disables
+	// checkpointing and archiving for the cycle, so every committed
+	// effect lives only in log pages and every page is
+	// recovery-critical — otherwise a checkpoint image can supersede a
+	// damaged page before recovery needs it and mask the sabotage.
+	BreakDuplex bool
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) defaults() {
+	if o.Ops <= 0 {
+		o.Ops = 400
+	}
+	if o.PerPoint <= 0 {
+		o.PerPoint = 8
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Violation is one detected crash-consistency failure, with the plan
+// that reproduces it.
+type Violation struct {
+	Plan fault.Plan
+	Desc string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("plan %q: %s", v.Plan.String(), v.Desc)
+}
+
+// Result summarises a sweep.
+type Result struct {
+	// PlansRun counts fault plans executed (excluding the baseline).
+	PlansRun int
+	// RulesFired counts plans whose rule actually fired.
+	RulesFired int
+	// CrashesFired counts plans whose crash rule fired: the number of
+	// distinct (point, hit, action) crash sites the sweep exercised.
+	CrashesFired int
+	// BaselineHits is the per-point hit count of the fault-free cycle,
+	// the space the plans were sampled from.
+	BaselineHits map[fault.Point]int64
+	// Violations are the detected failures, each with its reproducer.
+	Violations []Violation
+}
+
+// Config returns the small-geometry database configuration the sweep
+// uses: tiny pages and a short log window so a brief workload exercises
+// page flushes, update-count and age checkpoints, archiving, and
+// multi-page recovery replay.
+func Config() mmdb.Config {
+	cfg := mmdb.DefaultConfig()
+	cfg.PartitionSize = 4 << 10
+	cfg.LogPageSize = 512
+	cfg.SLBBlockSize = 512
+	cfg.UpdateThreshold = 24
+	cfg.LogWindowPages = 48
+	cfg.GracePages = 4
+	cfg.DirSize = 3
+	cfg.CheckpointTracks = 512
+	cfg.StableBytes = 8 << 20
+	cfg.BackgroundRecovery = false // the warm-up phase demands recovery deterministically
+	return cfg
+}
+
+// Run executes a full sweep: baseline cycle, plan enumeration, one
+// cycle per plan.
+func Run(opts Options) (*Result, error) {
+	opts.defaults()
+	res := &Result{}
+
+	// Baseline: an empty plan counts hits through a complete
+	// workload–crash–recover–verify cycle. It must pass — a violation
+	// here is a bug reachable without any fault at all.
+	base := runPlan(&opts, fault.Plan{Seed: opts.Seed})
+	if base.vio != nil {
+		return nil, fmt.Errorf("sweep: baseline (fault-free) cycle failed: %s", base.vio.Desc)
+	}
+	res.BaselineHits = base.hits
+
+	plans := enumerate(&opts, base.hits)
+	opts.Logf("sweep: baseline hit %d points, enumerated %d plans", len(base.hits), len(plans))
+	for i, pl := range plans {
+		r := runPlan(&opts, pl)
+		res.PlansRun++
+		status := "idle"
+		if r.fired > 0 {
+			res.RulesFired++
+			status = "fired"
+			if pl.Rules[0].Act.IsCrash() {
+				res.CrashesFired++
+			}
+		}
+		if r.vio != nil {
+			res.Violations = append(res.Violations, *r.vio)
+			status = "VIOLATION"
+		}
+		opts.Logf("sweep: [%d/%d] %s — %s", i+1, len(plans), pl.String(), status)
+	}
+	return res, nil
+}
+
+// Replay runs a single explicit plan, returning whether its rules fired
+// and the violation, if any.
+func Replay(opts Options, plan fault.Plan) (fired int64, vio *Violation) {
+	opts.defaults()
+	r := runPlan(&opts, plan)
+	return r.fired, r.vio
+}
+
+// enumerate builds the plan list: for every selected point, every
+// meaningful action on it, at PerPoint hit indexes sampled evenly over
+// the baseline hit count.
+func enumerate(opts *Options, hits map[fault.Point]int64) []fault.Plan {
+	points := opts.Points
+	if len(points) == 0 {
+		points = fault.AllPoints()
+	}
+	var plans []fault.Plan
+	for _, p := range points {
+		total := hits[p]
+		if total == 0 {
+			continue
+		}
+		for _, act := range actsFor(p) {
+			for _, h := range sampleHits(total, opts.PerPoint) {
+				plans = append(plans, fault.Plan{
+					Seed:  opts.Seed,
+					Rules: []fault.Rule{{Point: p, Hit: int(h), Act: act, Torn: -1}},
+				})
+				if opts.MaxPlans > 0 && len(plans) >= opts.MaxPlans {
+					return plans
+				}
+			}
+		}
+	}
+	return plans
+}
+
+// actsFor returns the actions meaningful at a point. Corrupting an
+// acknowledged checkpoint image is excluded: the single checkpoint disk
+// has no mirror, so a latent bad track there is a media failure needing
+// the archive rebuild path, not a crash-recovery property (see
+// ROADMAP.md open items).
+func actsFor(p fault.Point) []fault.Act {
+	switch p {
+	case fault.PointStableAppend:
+		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActCrashAfter}
+	case fault.PointLogWritePrimary:
+		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActCrashAfter, fault.ActIOErr, fault.ActCorrupt}
+	case fault.PointLogWriteMirror:
+		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActIOErr, fault.ActCorrupt}
+	case fault.PointCkptWrite:
+		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActCrashAfter, fault.ActIOErr}
+	case fault.PointLogReadPrimary, fault.PointLogReadMirror:
+		return []fault.Act{fault.ActIOErr, fault.ActCorrupt}
+	case fault.PointCkptRead:
+		return []fault.Act{fault.ActIOErr}
+	case fault.PointCkptAfterFence, fault.PointCkptAfterImage, fault.PointCkptBeforeCommit:
+		return []fault.Act{fault.ActCrashBefore, fault.ActIOErr}
+	}
+	return nil
+}
+
+// sampleHits picks up to per hit indexes in [1, total], always
+// including the first and last, spread evenly.
+func sampleHits(total int64, per int) []int64 {
+	if total <= int64(per) {
+		out := make([]int64, 0, total)
+		for h := int64(1); h <= total; h++ {
+			out = append(out, h)
+		}
+		return out
+	}
+	out := make([]int64, 0, per)
+	seen := make(map[int64]bool, per)
+	for i := 0; i < per; i++ {
+		h := 1 + (int64(i)*(total-1))/int64(per-1)
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// One plan = one full cycle.
+// ---------------------------------------------------------------------
+
+type planResult struct {
+	hits  map[fault.Point]int64
+	fired int64
+	vio   *Violation
+}
+
+type runner struct {
+	opts *Options
+	plan fault.Plan
+	cfg  mmdb.Config
+	inj  *fault.Injector
+	rng  *rand.Rand
+
+	rels    [nRels]*mmdb.Relation
+	created [nRels]bool
+	indexed [nRels]bool
+	model   [nRels]map[mmdb.RowID]row
+	ids     [nRels][]mmdb.RowID // deterministic pick order (commit order)
+	nextKey int64
+
+	hits  map[fault.Point]int64
+	fired int64
+}
+
+func runPlan(opts *Options, plan fault.Plan) planResult {
+	r := &runner{
+		opts: opts,
+		plan: plan,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		inj:  fault.NewInjector(plan),
+	}
+	for i := range r.model {
+		r.model[i] = map[mmdb.RowID]row{}
+	}
+	r.cfg = Config()
+	if opts.BreakDuplex {
+		// Keep all committed state in the log window: no checkpoints,
+		// no archiving, so recovery must read back every page and a
+		// damaged copy cannot hide behind a newer checkpoint image.
+		r.cfg.UpdateThreshold = 1 << 30
+		r.cfg.LogWindowPages = 1 << 20
+	}
+	r.cfg.FaultInjector = r.inj
+	vio := r.run()
+	return planResult{hits: r.hits, fired: r.fired, vio: vio}
+}
+
+func (r *runner) run() *Violation {
+	db, err := mmdb.Open(r.cfg)
+	if err != nil {
+		return r.viof("open: %v", err)
+	}
+	if r.opts.BreakDuplex {
+		db.Manager().Hardware().Log.SetDisableFallback(true)
+	}
+	if v := r.workload(db); v != nil {
+		db.Crash()
+		return v
+	}
+	if !r.inj.Crashed() {
+		db.WaitIdle()
+	}
+	hw := db.Crash()
+	r.inj.ClearCrash() // rules and hit counters stay armed: recovery-phase faults can fire
+
+	db = nil
+	for cycle := 0; ; cycle++ {
+		if cycle >= maxRecoveryCycles {
+			return r.viof("recovery did not converge after %d power cycles", maxRecoveryCycles)
+		}
+		d, err := mmdb.Recover(hw, r.cfg)
+		if err != nil {
+			if !fault.IsFault(err) {
+				return r.viof("recover: %v", err)
+			}
+			// A fault hit the restart path itself; fired rules are
+			// consumed, so a power-cycle retry converges.
+			r.inj.ClearCrash()
+			continue
+		}
+		err = r.warm(d)
+		if err == nil {
+			db = d
+			break
+		}
+		if fault.IsCrash(err) || r.inj.Crashed() {
+			hw = d.Crash()
+			r.inj.ClearCrash()
+			continue
+		}
+		d.Crash()
+		return r.viof("recovery warm-up: %v", err)
+	}
+
+	// Everything the plan was going to inject has had its chance;
+	// snapshot the injector and disarm it so verification runs
+	// fault-free.
+	db.WaitIdle()
+	r.hits = r.inj.Hits()
+	r.fired = r.inj.Triggered()
+	r.inj.Reset()
+
+	if v := r.verify(db); v != nil {
+		db.Crash()
+		return v
+	}
+	if err := db.Close(); err != nil {
+		return r.viof("close: %v", err)
+	}
+	return nil
+}
+
+// tolerable errors abort the transaction without indicting the system:
+// injected faults, the crash itself, and deadlocks against the
+// checkpointer's share locks.
+func (r *runner) tolerable(err error) bool {
+	return fault.IsFault(err) || errors.Is(err, mmdb.ErrDeadlock)
+}
+
+// workload runs the deterministic transaction mix, folding every
+// successfully committed transaction — and only those — into the
+// oracle. It stops as soon as the machine crashes.
+func (r *runner) workload(db *mmdb.DB) *Violation {
+	// Schema setup is part of the fault-exposed workload: catalog
+	// creation commits through the same stable log as everything else.
+	for i := 0; i < nRels; i++ {
+		if r.inj.Crashed() {
+			return nil
+		}
+		rel, err := db.CreateRelation(fmt.Sprintf("rel%d", i), sweepSchema)
+		if err != nil {
+			if r.tolerable(err) {
+				return nil
+			}
+			return r.viof("create relation %d: %v", i, err)
+		}
+		r.rels[i] = rel
+		r.created[i] = true
+		kind := mmdb.KindTTree
+		if i%2 == 1 {
+			kind = mmdb.KindLinHash
+		}
+		if _, err := db.CreateIndex(rel, "by_k", "k", kind, 8); err != nil {
+			if r.tolerable(err) {
+				return nil
+			}
+			return r.viof("create index %d: %v", i, err)
+		}
+		r.indexed[i] = true
+	}
+	for txi := 0; txi < r.opts.Ops; txi++ {
+		if r.inj.Crashed() {
+			return nil
+		}
+		if v := r.oneTxn(db); v != nil {
+			return v
+		}
+		if txi%8 == 7 && !r.inj.Crashed() {
+			db.WaitIdle()
+		}
+	}
+	return nil
+}
+
+func (r *runner) oneTxn(db *mmdb.DB) *Violation {
+	rng := r.rng
+	ri := rng.Intn(nRels)
+	if !r.created[ri] {
+		return nil
+	}
+	rel := r.rels[ri]
+	tx := db.Begin()
+	type sop struct {
+		id  mmdb.RowID
+		del bool
+		row row
+	}
+	var staged []sop
+	touched := map[mmdb.RowID]bool{}
+	ok := true
+	nOps := 1 + rng.Intn(5)
+	for op := 0; op < nOps && ok; op++ {
+		if r.inj.Crashed() {
+			// Abort to release locks (pure volatile work, safe on a
+			// halted machine) so background lock waiters cannot wedge
+			// the crash shutdown.
+			_ = tx.Abort()
+			return nil
+		}
+		switch c := rng.Intn(10); {
+		case c < 5: // insert
+			nr := row{k: r.nextKey, v: float64(r.nextKey) / 3, s: fmt.Sprintf("s%d", r.nextKey)}
+			r.nextKey++
+			id, err := tx.Insert(rel, heap.Tuple{nr.k, nr.v, nr.s})
+			if err != nil {
+				if !r.tolerable(err) {
+					return r.viof("insert: %v", err)
+				}
+				ok = false
+				break
+			}
+			staged = append(staged, sop{id: id, row: nr})
+			touched[id] = true
+		case c < 8: // update a committed row
+			id, found := r.pickID(ri, touched)
+			if !found {
+				continue
+			}
+			cur := r.model[ri][id]
+			cur.v++
+			if err := tx.Update(rel, id, map[string]any{"v": cur.v}); err != nil {
+				if !r.tolerable(err) {
+					return r.viof("update: %v", err)
+				}
+				ok = false
+				break
+			}
+			staged = append(staged, sop{id: id, row: cur})
+			touched[id] = true
+		default: // delete a committed row
+			id, found := r.pickID(ri, touched)
+			if !found {
+				continue
+			}
+			if err := tx.Delete(rel, id); err != nil {
+				if !r.tolerable(err) {
+					return r.viof("delete: %v", err)
+				}
+				ok = false
+				break
+			}
+			staged = append(staged, sop{id: id, del: true})
+			touched[id] = true
+		}
+	}
+	if r.inj.Crashed() {
+		_ = tx.Abort()
+		return nil
+	}
+	if !ok || rng.Intn(6) == 0 {
+		_ = tx.Abort()
+		return nil
+	}
+	if err := tx.Commit(); err != nil {
+		if !r.tolerable(err) {
+			return r.viof("commit: %v", err)
+		}
+		_ = tx.Abort()
+		return nil
+	}
+	// Commit returned success, so the REDO chain is on the stable
+	// committed list: these effects are durable by the paper's
+	// contract, and the oracle records them as such. (A crash racing
+	// this very instant changes nothing — restart re-sorts committed
+	// chains.)
+	for _, s := range staged {
+		if s.del {
+			delete(r.model[ri], s.id)
+			r.removeID(ri, s.id)
+		} else {
+			if _, exists := r.model[ri][s.id]; !exists {
+				r.ids[ri] = append(r.ids[ri], s.id)
+			}
+			r.model[ri][s.id] = s.row
+		}
+	}
+	return nil
+}
+
+// pickID chooses a committed row not yet touched by this transaction,
+// deterministically (ids keep commit order; map iteration would not be
+// reproducible).
+func (r *runner) pickID(ri int, touched map[mmdb.RowID]bool) (mmdb.RowID, bool) {
+	ids := r.ids[ri]
+	if len(ids) == 0 {
+		return mmdb.RowID{}, false
+	}
+	start := r.rng.Intn(len(ids))
+	for i := 0; i < len(ids); i++ {
+		id := ids[(start+i)%len(ids)]
+		if !touched[id] {
+			return id, true
+		}
+	}
+	return mmdb.RowID{}, false
+}
+
+func (r *runner) removeID(ri int, id mmdb.RowID) {
+	ids := r.ids[ri]
+	for i := range ids {
+		if ids[i] == id {
+			r.ids[ri] = append(ids[:i], ids[i+1:]...)
+			return
+		}
+	}
+}
+
+// warm demand-recovers the whole database with the plan's rules still
+// armed, so faults whose hit indexes fall in the recovery phase fire.
+// Transient injected errors are retried (their rules expire); a crash
+// propagates so the caller can power-cycle.
+func (r *runner) warm(db *mmdb.DB) error {
+	const attempts = 5
+	var last error
+	for a := 0; a < attempts; a++ {
+		if r.inj.Crashed() {
+			return fault.ErrCrashed
+		}
+		last = r.warmOnce(db)
+		if last == nil {
+			return nil
+		}
+		if fault.IsCrash(last) || r.inj.Crashed() {
+			return fault.ErrCrashed
+		}
+		if !fault.IsFault(last) {
+			return last
+		}
+	}
+	return fmt.Errorf("still failing after %d attempts: %w", attempts, last)
+}
+
+func (r *runner) warmOnce(db *mmdb.DB) error {
+	for i := 0; i < nRels; i++ {
+		if !r.created[i] {
+			continue
+		}
+		rel, err := db.GetRelation(fmt.Sprintf("rel%d", i))
+		if err != nil {
+			return fmt.Errorf("committed relation rel%d missing after recovery: %w", i, err)
+		}
+		r.rels[i] = rel
+	}
+	// CheckConsistency walks every partition of every relation and
+	// index, demand-recovering each through the §2.5 path, and audits
+	// all structural invariants while it is at it.
+	return db.CheckConsistency()
+}
+
+// verify runs the fault-free post-recovery checks.
+func (r *runner) verify(db *mmdb.DB) *Violation {
+	mgr := db.Manager()
+	hw := mgr.Hardware()
+
+	// Log scrub (§2.2): read every page recovery still depends on
+	// through the duplex pair; a read repairs a damaged or missing copy
+	// from its twin.
+	bins := mgr.BinStates()
+	for _, bs := range bins {
+		for _, lsn := range bs.Pages {
+			if _, err := hw.Log.Read(lsn); err != nil {
+				return r.viof("log page %d of %v unreadable through the duplex pair: %v", lsn, bs.PID, err)
+			}
+		}
+	}
+	// After repair, both copies of every needed page must be intact and
+	// byte-identical.
+	for _, bs := range bins {
+		for _, lsn := range bs.Pages {
+			pd, pbad, pok := hw.Log.Primary.PageState(lsn)
+			md, mbad, mok := hw.Log.Mirror.PageState(lsn)
+			if !pok || !mok || pbad || mbad {
+				return r.viof("log page %d of %v not fully duplexed after repair (primary ok=%v bad=%v, mirror ok=%v bad=%v)",
+					lsn, bs.PID, pok, pbad, mok, mbad)
+			}
+			if !bytes.Equal(pd, md) {
+				return r.viof("log disk copies diverge at page %d of %v", lsn, bs.PID)
+			}
+		}
+	}
+	// Global duplex agreement: wherever both copies are intact they
+	// must match. (A crash can leave one copy of an unacknowledged page
+	// torn or missing — those pages are never read, and are excluded by
+	// the intactness condition.)
+	seen := map[simdisk.LSN]bool{}
+	for _, lsn := range hw.Log.Primary.LSNs() {
+		seen[lsn] = true
+	}
+	for _, lsn := range hw.Log.Mirror.LSNs() {
+		seen[lsn] = true
+	}
+	lsns := make([]simdisk.LSN, 0, len(seen))
+	for lsn := range seen {
+		lsns = append(lsns, lsn)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	for _, lsn := range lsns {
+		pd, pbad, pok := hw.Log.Primary.PageState(lsn)
+		md, mbad, mok := hw.Log.Mirror.PageState(lsn)
+		if pok && mok && !pbad && !mbad && !bytes.Equal(pd, md) {
+			return r.viof("log disk copies diverge at page %d", lsn)
+		}
+	}
+
+	// Committed state: exact agreement with the oracle.
+	for i := 0; i < nRels; i++ {
+		if !r.created[i] {
+			continue
+		}
+		if v := r.verifyRelation(db, i); v != nil {
+			return v
+		}
+	}
+
+	// The recovered database must remain usable: one more transaction
+	// through commit, read back.
+	return r.probe(db)
+}
+
+func (r *runner) verifyRelation(db *mmdb.DB, ri int) *Violation {
+	rel := r.rels[ri]
+	tx := db.Begin()
+	defer tx.Abort()
+	got := map[mmdb.RowID]row{}
+	err := tx.Scan(rel, func(id mmdb.RowID, tup heap.Tuple) bool {
+		got[id] = row{k: tup[0].(int64), v: tup[1].(float64), s: tup[2].(string)}
+		return true
+	})
+	if err != nil {
+		return r.viof("rel%d: scan after recovery: %v", ri, err)
+	}
+	for id, want := range r.model[ri] {
+		g, present := got[id]
+		if !present {
+			return r.viof("rel%d: committed row %v lost", ri, id)
+		}
+		if g != want {
+			return r.viof("rel%d: row %v = %+v after recovery, want %+v", ri, id, g, want)
+		}
+	}
+	if len(got) != len(r.model[ri]) {
+		for id := range got {
+			if _, present := r.model[ri][id]; !present {
+				return r.viof("rel%d: uncommitted or deleted row %v resurrected", ri, id)
+			}
+		}
+	}
+	if r.indexed[ri] {
+		idx := rel.Index("by_k")
+		if idx == nil {
+			return r.viof("rel%d: index by_k missing after recovery", ri)
+		}
+		checked := 0
+		for _, id := range r.ids[ri] {
+			if checked >= 8 {
+				break
+			}
+			checked++
+			want := r.model[ri][id]
+			found := false
+			err := tx.IndexLookup(idx, want.k, func(gid mmdb.RowID, _ heap.Tuple) bool {
+				if gid == id {
+					found = true
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return r.viof("rel%d: index lookup: %v", ri, err)
+			}
+			if !found {
+				return r.viof("rel%d: key %d (row %v) missing from index after recovery", ri, want.k, id)
+			}
+		}
+		phantom := false
+		if err := tx.IndexLookup(idx, int64(-1), func(mmdb.RowID, heap.Tuple) bool {
+			phantom = true
+			return false
+		}); err != nil {
+			return r.viof("rel%d: phantom-key lookup: %v", ri, err)
+		}
+		if phantom {
+			return r.viof("rel%d: index hit for never-inserted key", ri)
+		}
+	}
+	return nil
+}
+
+func (r *runner) probe(db *mmdb.DB) *Violation {
+	ri := -1
+	for i := 0; i < nRels; i++ {
+		if r.created[i] {
+			ri = i
+			break
+		}
+	}
+	if ri < 0 {
+		return nil // crash landed before any schema committed; nothing to probe with
+	}
+	tx := db.Begin()
+	nr := row{k: r.nextKey, v: 0.5, s: "probe"}
+	id, err := tx.Insert(r.rels[ri], heap.Tuple{nr.k, nr.v, nr.s})
+	if err != nil {
+		_ = tx.Abort()
+		return r.viof("probe insert on recovered database: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		return r.viof("probe commit on recovered database: %v", err)
+	}
+	tx2 := db.Begin()
+	defer tx2.Abort()
+	tup, err := tx2.Get(r.rels[ri], id)
+	if err != nil {
+		return r.viof("probe read-back: %v", err)
+	}
+	if tup[0].(int64) != nr.k {
+		return r.viof("probe read-back returned wrong row")
+	}
+	return nil
+}
+
+func (r *runner) viof(format string, args ...any) *Violation {
+	return &Violation{Plan: r.plan, Desc: fmt.Sprintf(format, args...)}
+}

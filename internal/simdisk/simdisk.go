@@ -11,14 +11,25 @@
 // tracks, and a track transfers at double the per-page rate. Contents
 // are kept in memory (they survive the simulated crash), and service
 // times are charged to the cost meter instead of sleeping.
+//
+// The failure model is reproduced too. Each stored sector/track carries
+// an ECC-valid bit; a write torn by a crash (or silently corrupted by an
+// injected fault) leaves the sector present but unreadable, returning
+// ErrBadSector on access — which is exactly the condition the duplexed
+// pair of §2.2 exists to mask. Fault points are evaluated through an
+// optional fault.Injector; a nil injector costs one branch per I/O.
 package simdisk
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mmdb/internal/cost"
+	"mmdb/internal/fault"
+	"mmdb/internal/metrics"
 )
 
 // LSN is a log sequence number: the address of one page on the log
@@ -34,6 +45,10 @@ var (
 	ErrNoSuchPage   = errors.New("simdisk: no such log page")
 	ErrNoSuchTrack  = errors.New("simdisk: no such checkpoint track")
 	ErrMediaFailure = errors.New("simdisk: media failure")
+	// ErrBadSector means the sector/track exists but fails its ECC
+	// check: a torn or corrupted write. The duplexed pair masks it by
+	// reading the mirror copy and rewriting the damaged one.
+	ErrBadSector = errors.New("simdisk: bad sector (ECC check failed)")
 )
 
 // Params models drive timing. Values are estimates for a late-1980s
@@ -67,6 +82,13 @@ func (p Params) trackTransferMicros(n int) int64 {
 	return int64(n) * 1e6 / (2 * p.BytesPerSec)
 }
 
+// logPage is one stored sector: its contents (possibly a torn prefix)
+// plus the ECC-valid bit.
+type logPage struct {
+	data []byte
+	bad  bool
+}
+
 // LogDisk is one append-only log disk. Pages are written individually;
 // because sectors are interleaved, sequential page appends pay only the
 // transfer time (the inter-sector gap covers setup), while reads during
@@ -76,14 +98,43 @@ type LogDisk struct {
 	meter  *cost.Meter
 
 	mu     sync.Mutex
-	pages  map[LSN][]byte
+	inj    *fault.Injector
+	wpt    fault.Point // fault point charged per page write
+	rpt    fault.Point // fault point charged per page read
+	pages  map[LSN]*logPage
 	next   LSN
 	failed bool
 }
 
 // NewLogDisk creates an empty log disk. meter may be nil.
 func NewLogDisk(params Params, meter *cost.Meter) *LogDisk {
-	return &LogDisk{params: params, meter: meter, pages: make(map[LSN][]byte), next: 1}
+	return &LogDisk{params: params, meter: meter, pages: make(map[LSN]*logPage), next: 1}
+}
+
+// SetInjector attaches a fault injector with this spindle's write and
+// read fault points. A nil injector detaches.
+func (d *LogDisk) SetInjector(inj *fault.Injector, write, read fault.Point) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inj, d.wpt, d.rpt = inj, write, read
+}
+
+// writePageLocked stores page at lsn after consulting the injector: a
+// crash-before or transient error applies nothing; a torn write stores
+// a prefix and flips the ECC bit; a corrupt write stores everything but
+// still flips the ECC bit.
+func (d *LogDisk) writePageLocked(lsn LSN, page []byte) error {
+	dec := d.inj.Check(d.wpt, len(page))
+	if dec.Err != nil && dec.ApplyBytes(len(page)) == 0 && !dec.MarkBad {
+		return dec.Err
+	}
+	n := dec.ApplyBytes(len(page))
+	d.pages[lsn] = &logPage{data: append([]byte(nil), page[:n]...), bad: dec.MarkBad}
+	if lsn >= d.next {
+		d.next = lsn + 1
+	}
+	d.meter.ChargeLogDisk(d.params.transferMicros(n))
+	return dec.Err
 }
 
 // Append writes a page at the next LSN and returns that LSN.
@@ -94,42 +145,87 @@ func (d *LogDisk) Append(page []byte) (LSN, error) {
 		return NilLSN, ErrMediaFailure
 	}
 	lsn := d.next
-	d.next++
-	d.pages[lsn] = append([]byte(nil), page...)
-	d.meter.ChargeLogDisk(d.params.transferMicros(len(page)))
+	if err := d.writePageLocked(lsn, page); err != nil {
+		return NilLSN, err
+	}
 	return lsn, nil
 }
 
 // WriteAt overwrites the page at a specific LSN; used by the duplex pair
-// to mirror its primary's LSN assignment.
+// to keep both spindles on one LSN sequence, and to rewrite a damaged
+// sector from the healthy copy.
 func (d *LogDisk) WriteAt(lsn LSN, page []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.failed {
 		return ErrMediaFailure
 	}
-	d.pages[lsn] = append([]byte(nil), page...)
-	if lsn >= d.next {
-		d.next = lsn + 1
-	}
-	d.meter.ChargeLogDisk(d.params.transferMicros(len(page)))
-	return nil
+	return d.writePageLocked(lsn, page)
 }
 
 // Read returns the page at lsn, charging a sibling-page seek plus
-// transfer.
+// transfer. A sector whose ECC bit is bad fails with ErrBadSector; an
+// injected read fault can also damage the sector in place (latent
+// corruption discovered on access).
 func (d *LogDisk) Read(lsn LSN) ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.failed {
 		return nil, ErrMediaFailure
 	}
+	dec := d.inj.Check(d.rpt, 0)
+	if dec.Err != nil {
+		return nil, dec.Err
+	}
 	p, ok := d.pages[lsn]
 	if !ok {
 		return nil, fmt.Errorf("%w: LSN %d", ErrNoSuchPage, lsn)
 	}
-	d.meter.ChargeLogDisk(d.params.AdjSeekMicros + d.params.transferMicros(len(p)))
-	return append([]byte(nil), p...), nil
+	if dec.MarkBad {
+		p.bad = true
+	}
+	if p.bad {
+		return nil, fmt.Errorf("%w: LSN %d", ErrBadSector, lsn)
+	}
+	d.meter.ChargeLogDisk(d.params.AdjSeekMicros + d.params.transferMicros(len(p.data)))
+	return append([]byte(nil), p.data...), nil
+}
+
+// PageState inspects the sector at lsn without charging cost or fault
+// points: the stored bytes (torn prefix included), the ECC-bad flag,
+// and whether the sector holds anything at all. Verification-only.
+func (d *LogDisk) PageState(lsn LSN) (data []byte, bad bool, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.pages[lsn]
+	if !ok {
+		return nil, false, false
+	}
+	return append([]byte(nil), p.data...), p.bad, true
+}
+
+// CorruptPage flips the ECC bit of the sector at lsn, reporting whether
+// the sector existed. Test helper for §2.2 repair coverage.
+func (d *LogDisk) CorruptPage(lsn LSN) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.pages[lsn]
+	if ok {
+		p.bad = true
+	}
+	return ok
+}
+
+// LSNs returns the resident page addresses in ascending order.
+func (d *LogDisk) LSNs() []LSN {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]LSN, 0, len(d.pages))
+	for l := range d.pages {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Drop releases pages up to and including lsn (after they have been
@@ -164,7 +260,7 @@ func (d *LogDisk) Fail() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.failed = true
-	d.pages = make(map[LSN][]byte)
+	d.pages = make(map[LSN]*logPage)
 }
 
 // Repair replaces the failed medium with a blank one.
@@ -175,11 +271,22 @@ func (d *LogDisk) Repair() {
 }
 
 // DuplexLog is the duplexed pair of log disks (§2.2: "the other set of
-// (duplexed) disks holds log information"). Writes go to both spindles;
-// reads are served by the first healthy one.
+// (duplexed) disks holds log information"). Writes go to both spindles
+// in lockstep at one LSN sequence; reads are served by the primary with
+// fallback to the mirror, and a copy found damaged or missing is
+// rewritten from the healthy one so the pair reconverges.
 type DuplexLog struct {
 	Primary *LogDisk
 	Mirror  *LogDisk
+
+	// Fallbacks counts reads served by the mirror after a primary
+	// error; Repairs counts damaged/missing copies rewritten from the
+	// healthy spindle. Optional, nil-safe.
+	Fallbacks *metrics.Counter
+	Repairs   *metrics.Counter
+
+	mu              sync.Mutex // serialises LSN allocation across the pair
+	disableFallback atomic.Bool
 }
 
 // NewDuplexLog creates a duplexed pair sharing timing and meter.
@@ -190,26 +297,72 @@ func NewDuplexLog(params Params, meter *cost.Meter) *DuplexLog {
 	}
 }
 
-// Append writes the page to both spindles and returns its LSN. The pair
-// fails only if both spindles fail.
+// SetDisableFallback turns mirror fallback off (true) or on (false).
+// Only the crashhunt negative mode uses it, to demonstrate that the
+// sweep catches a recovery path that ignores §2.2.
+func (d *DuplexLog) SetDisableFallback(v bool) { d.disableFallback.Store(v) }
+
+// Append writes the page to both spindles at one LSN and returns it.
+// The pair fails only if both spindles fail — a single-spindle error
+// leaves the page simplexed, to be re-duplexed by a later read's scrub
+// — except that a machine crash always surfaces, whatever landed.
 func (d *DuplexLog) Append(page []byte) (LSN, error) {
-	lsn, err := d.Primary.Append(page)
-	if err != nil {
-		// primary down: serve from the mirror alone
-		return d.Mirror.Append(page)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lsn := d.Primary.NextLSN()
+	if m := d.Mirror.NextLSN(); m > lsn {
+		lsn = m
 	}
-	// Mirror at the same LSN; a mirror failure leaves the pair simplexed.
-	_ = d.Mirror.WriteAt(lsn, page)
+	perr := d.Primary.WriteAt(lsn, page)
+	merr := d.Mirror.WriteAt(lsn, page)
+	if fault.IsCrash(perr) {
+		return NilLSN, perr
+	}
+	if fault.IsCrash(merr) {
+		return NilLSN, merr
+	}
+	if perr != nil && merr != nil {
+		return NilLSN, perr
+	}
 	return lsn, nil
 }
 
-// Read returns the page at lsn from the first healthy spindle.
+// Read returns the page at lsn from the primary, falling back to the
+// mirror on error (§2.2). After a successful fallback the primary's
+// damaged or missing sector is rewritten from the mirror copy; after a
+// successful primary read the mirror is scrubbed the same way, so a
+// page left simplexed by a write-time fault reconverges on first use.
 func (d *DuplexLog) Read(lsn LSN) ([]byte, error) {
-	p, err := d.Primary.Read(lsn)
-	if err == nil {
+	p, perr := d.Primary.Read(lsn)
+	if perr == nil {
+		d.repairIfDamaged(d.Mirror, lsn, p)
 		return p, nil
 	}
-	return d.Mirror.Read(lsn)
+	if fault.IsCrash(perr) || d.disableFallback.Load() {
+		return nil, perr
+	}
+	m, merr := d.Mirror.Read(lsn)
+	if merr != nil {
+		return nil, perr
+	}
+	d.Fallbacks.Inc()
+	if errors.Is(perr, ErrBadSector) || errors.Is(perr, ErrNoSuchPage) {
+		if d.Primary.WriteAt(lsn, m) == nil {
+			d.Repairs.Inc()
+		}
+	}
+	return m, nil
+}
+
+// repairIfDamaged rewrites other's copy of lsn from good if it is
+// missing or fails its ECC check.
+func (d *DuplexLog) repairIfDamaged(other *LogDisk, lsn LSN, good []byte) {
+	if _, bad, ok := other.PageState(lsn); ok && !bad {
+		return
+	}
+	if other.WriteAt(lsn, good) == nil {
+		d.Repairs.Inc()
+	}
 }
 
 // Drop releases archived pages on both spindles.
@@ -227,6 +380,12 @@ func (d *DuplexLog) NextLSN() LSN {
 	return n
 }
 
+// ckptTrack is one stored checkpoint track plus its ECC-valid bit.
+type ckptTrack struct {
+	data []byte
+	bad  bool
+}
+
 // TrackLoc addresses one track on the checkpoint disk set.
 type TrackLoc int32
 
@@ -242,14 +401,23 @@ type CheckpointDisk struct {
 	meter  *cost.Meter
 
 	mu     sync.Mutex
-	tracks map[TrackLoc][]byte
+	inj    *fault.Injector
+	tracks map[TrackLoc]*ckptTrack
 	n      int // capacity in tracks
 	failed bool
 }
 
 // NewCheckpointDisk creates a checkpoint disk set with n tracks.
 func NewCheckpointDisk(n int, params Params, meter *cost.Meter) *CheckpointDisk {
-	return &CheckpointDisk{params: params, meter: meter, tracks: make(map[TrackLoc][]byte), n: n}
+	return &CheckpointDisk{params: params, meter: meter, tracks: make(map[TrackLoc]*ckptTrack), n: n}
+}
+
+// SetInjector attaches a fault injector; track I/O hits the ckpt.write
+// and ckpt.read fault points. A nil injector detaches.
+func (d *CheckpointDisk) SetInjector(inj *fault.Injector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inj = inj
 }
 
 // Tracks returns the capacity in tracks.
@@ -267,25 +435,41 @@ func (d *CheckpointDisk) WriteTrack(loc TrackLoc, data []byte) error {
 	if loc < 0 || int(loc) >= d.n {
 		return fmt.Errorf("%w: track %d of %d", ErrNoSuchTrack, loc, d.n)
 	}
-	d.tracks[loc] = append([]byte(nil), data...)
-	d.meter.ChargeCkptDisk(d.params.AdjSeekMicros + d.params.trackTransferMicros(len(data)))
-	return nil
+	dec := d.inj.Check(fault.PointCkptWrite, len(data))
+	if dec.Err != nil && dec.ApplyBytes(len(data)) == 0 && !dec.MarkBad {
+		return dec.Err
+	}
+	n := dec.ApplyBytes(len(data))
+	d.tracks[loc] = &ckptTrack{data: append([]byte(nil), data[:n]...), bad: dec.MarkBad}
+	d.meter.ChargeCkptDisk(d.params.AdjSeekMicros + d.params.trackTransferMicros(n))
+	return dec.Err
 }
 
 // ReadTrack fetches a partition image during recovery: a random seek
-// plus rotation plus the double-rate track transfer.
+// plus rotation plus the double-rate track transfer. A torn or
+// corrupted track fails with ErrBadSector.
 func (d *CheckpointDisk) ReadTrack(loc TrackLoc) ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.failed {
 		return nil, ErrMediaFailure
 	}
+	dec := d.inj.Check(fault.PointCkptRead, 0)
+	if dec.Err != nil {
+		return nil, dec.Err
+	}
 	t, ok := d.tracks[loc]
 	if !ok {
 		return nil, fmt.Errorf("%w: track %d", ErrNoSuchTrack, loc)
 	}
-	d.meter.ChargeCkptDisk(d.params.AvgSeekMicros + d.params.RotateMicros + d.params.trackTransferMicros(len(t)))
-	return append([]byte(nil), t...), nil
+	if dec.MarkBad {
+		t.bad = true
+	}
+	if t.bad {
+		return nil, fmt.Errorf("%w: track %d", ErrBadSector, loc)
+	}
+	d.meter.ChargeCkptDisk(d.params.AvgSeekMicros + d.params.RotateMicros + d.params.trackTransferMicros(len(t.data)))
+	return append([]byte(nil), t.data...), nil
 }
 
 // FreeTrack discards the image at loc (its partition has a newer copy).
@@ -301,7 +485,7 @@ func (d *CheckpointDisk) Fail() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.failed = true
-	d.tracks = make(map[TrackLoc][]byte)
+	d.tracks = make(map[TrackLoc]*ckptTrack)
 }
 
 // Repair installs a blank medium.

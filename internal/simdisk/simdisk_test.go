@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mmdb/internal/cost"
+	"mmdb/internal/fault"
 )
 
 func TestLogDiskAppendRead(t *testing.T) {
@@ -268,5 +269,140 @@ func TestTimingCharges(t *testing.T) {
 	wantTrack := p.AdjSeekMicros + int64(len(img))*1e6/(2*p.BytesPerSec)
 	if ck != wantTrack {
 		t.Fatalf("track write charged %d us, want %d (double-rate track transfer)", ck, wantTrack)
+	}
+}
+
+func TestBadSectorDuplexRepair(t *testing.T) {
+	// §2.2: a damaged copy is masked by the mirror and rewritten.
+	dx := NewDuplexLog(DefaultParams(), nil)
+	lsn, err := dx.Append([]byte("page"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dx.Primary.CorruptPage(lsn) {
+		t.Fatal("CorruptPage found no sector")
+	}
+	if _, err := dx.Primary.Read(lsn); !errors.Is(err, ErrBadSector) {
+		t.Fatalf("corrupted sector read: %v, want ErrBadSector", err)
+	}
+	got, err := dx.Read(lsn)
+	if err != nil || !bytes.Equal(got, []byte("page")) {
+		t.Fatalf("duplex read = %q, %v", got, err)
+	}
+	// The fallback must have rewritten the primary copy.
+	if p, err := dx.Primary.Read(lsn); err != nil || !bytes.Equal(p, []byte("page")) {
+		t.Fatalf("primary not repaired: %q, %v", p, err)
+	}
+	data, bad, ok := dx.Primary.PageState(lsn)
+	if !ok || bad || !bytes.Equal(data, []byte("page")) {
+		t.Fatalf("PageState after repair = %q bad=%v ok=%v", data, bad, ok)
+	}
+}
+
+func TestDuplexScrubRepairsMirror(t *testing.T) {
+	// A page left simplexed (mirror copy missing or bad) reconverges on
+	// the first successful primary read.
+	dx := NewDuplexLog(DefaultParams(), nil)
+	lsn, _ := dx.Append([]byte("abc"))
+	dx.Mirror.CorruptPage(lsn)
+	if _, err := dx.Read(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := dx.Mirror.Read(lsn); err != nil || !bytes.Equal(m, []byte("abc")) {
+		t.Fatalf("mirror not scrubbed: %q, %v", m, err)
+	}
+}
+
+func TestDuplexDisableFallback(t *testing.T) {
+	dx := NewDuplexLog(DefaultParams(), nil)
+	lsn, _ := dx.Append([]byte("x"))
+	dx.Primary.CorruptPage(lsn)
+	dx.SetDisableFallback(true)
+	if _, err := dx.Read(lsn); !errors.Is(err, ErrBadSector) {
+		t.Fatalf("read with fallback disabled: %v, want primary's ErrBadSector", err)
+	}
+	dx.SetDisableFallback(false)
+	if _, err := dx.Read(lsn); err != nil {
+		t.Fatalf("read with fallback restored: %v", err)
+	}
+}
+
+func TestInjectedTornWriteLeavesBadSector(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Seed: 7, Rules: []fault.Rule{
+		{Point: fault.PointLogWritePrimary, Hit: 2, Act: fault.ActCrashTorn, Torn: 3},
+	}})
+	d := NewLogDisk(DefaultParams(), nil)
+	d.SetInjector(inj, fault.PointLogWritePrimary, fault.PointLogReadPrimary)
+	if _, err := d.Append([]byte("whole-page")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append([]byte("torn-page")); !fault.IsCrash(err) {
+		t.Fatalf("torn append: %v, want crash", err)
+	}
+	// The torn prefix is on the platter with a bad ECC.
+	data, bad, ok := d.PageState(2)
+	if !ok || !bad || !bytes.Equal(data, []byte("tor")) {
+		t.Fatalf("torn sector state = %q bad=%v ok=%v", data, bad, ok)
+	}
+	inj.ClearCrash()
+	if _, err := d.Read(2); !errors.Is(err, ErrBadSector) {
+		t.Fatalf("torn sector read: %v, want ErrBadSector", err)
+	}
+	// All I/O fails while crashed.
+	inj.ForceCrash()
+	if _, err := d.Read(1); !fault.IsCrash(err) {
+		t.Fatalf("read on crashed machine: %v", err)
+	}
+	if _, err := d.Append([]byte("z")); !fault.IsCrash(err) {
+		t.Fatalf("append on crashed machine: %v", err)
+	}
+}
+
+func TestInjectedCkptTornTrack(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Point: fault.PointCkptWrite, Hit: 1, Act: fault.ActCrashTorn, Torn: 2},
+	}})
+	d := NewCheckpointDisk(4, DefaultParams(), nil)
+	d.SetInjector(inj)
+	if err := d.WriteTrack(0, []byte("image")); !fault.IsCrash(err) {
+		t.Fatalf("torn track write: %v, want crash", err)
+	}
+	inj.ClearCrash()
+	if _, err := d.ReadTrack(0); !errors.Is(err, ErrBadSector) {
+		t.Fatalf("torn track read: %v, want ErrBadSector", err)
+	}
+	// A fresh write over the torn track restores it.
+	if err := d.WriteTrack(0, []byte("image")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := d.ReadTrack(0); err != nil || !bytes.Equal(got, []byte("image")) {
+		t.Fatalf("rewritten track = %q, %v", got, err)
+	}
+}
+
+func TestDuplexSimplexedWriteThenCrashAfter(t *testing.T) {
+	// crash-after on the primary leaves the page durable on the primary
+	// only; the caller sees the crash, and a later read re-duplexes it.
+	inj := fault.NewInjector(fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Point: fault.PointLogWritePrimary, Hit: 1, Act: fault.ActCrashAfter},
+	}})
+	dx := NewDuplexLog(DefaultParams(), nil)
+	dx.Primary.SetInjector(inj, fault.PointLogWritePrimary, fault.PointLogReadPrimary)
+	dx.Mirror.SetInjector(inj, fault.PointLogWriteMirror, fault.PointLogReadMirror)
+	if _, err := dx.Append([]byte("p")); !fault.IsCrash(err) {
+		t.Fatalf("append: %v, want crash", err)
+	}
+	if _, bad, ok := dx.Primary.PageState(1); !ok || bad {
+		t.Fatalf("primary copy should be durable: bad=%v ok=%v", bad, ok)
+	}
+	if _, _, ok := dx.Mirror.PageState(1); ok {
+		t.Fatal("mirror copy should be absent (machine halted before mirroring)")
+	}
+	inj.Reset()
+	if _, err := dx.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := dx.Mirror.Read(1); err != nil || !bytes.Equal(m, []byte("p")) {
+		t.Fatalf("mirror not re-duplexed: %q, %v", m, err)
 	}
 }

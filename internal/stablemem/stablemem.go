@@ -30,18 +30,30 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mmdb/internal/cost"
+	"mmdb/internal/fault"
 )
 
 // ErrExhausted is returned when an allocation would exceed the stable
 // memory's configured capacity.
 var ErrExhausted = errors.New("stablemem: capacity exhausted")
 
+// ErrNoSpace is returned by Block.Append when the record does not fit
+// in the block's remaining space.
+var ErrNoSpace = errors.New("stablemem: block full")
+
 // Memory is the stable reliable memory module.
 type Memory struct {
 	meter    *cost.Meter
 	slowdown int64 // cost multiplier vs regular memory (paper: 4)
+
+	// inj is the optional fault injector consulted on every block
+	// append (fault point "stable.append"); atomic because appends are
+	// deliberately lock-free per §2.3.1 while the injector is rewired
+	// at each recovery generation.
+	inj atomic.Pointer[fault.Injector]
 
 	mu       sync.Mutex
 	capacity int64
@@ -67,6 +79,10 @@ func New(capacity int64, slowdown int, meter *cost.Meter) *Memory {
 		root:     make(map[string]any),
 	}
 }
+
+// SetInjector attaches a fault injector to the memory's append path.
+// A nil injector detaches.
+func (m *Memory) SetInjector(inj *fault.Injector) { m.inj.Store(inj) }
 
 // Capacity returns the configured capacity in bytes.
 func (m *Memory) Capacity() int64 { return m.capacity }
@@ -160,16 +176,34 @@ func (b *Block) Len() int { return b.n }
 // Remaining returns the free space left in the block.
 func (b *Block) Remaining() int { return len(b.buf) - b.n }
 
-// Append copies p into the block, charging stable-write cost. It returns
-// false (writing nothing) if p does not fit.
-func (b *Block) Append(p []byte) bool {
+// Append copies p into the block, charging stable-write cost. It
+// returns ErrNoSpace (writing nothing) if p does not fit. A crash
+// injected mid-append can leave a torn prefix of p in the block — the
+// exact failure mode restart's torn-tail sanitisation exists for.
+func (b *Block) Append(p []byte) error {
 	if len(p) > b.Remaining() {
-		return false
+		return ErrNoSpace
 	}
-	copy(b.buf[b.n:], p)
-	b.n += len(p)
-	b.mem.ChargeWrite(len(p))
-	return true
+	dec := b.mem.inj.Load().Check(fault.PointStableAppend, len(p))
+	n := dec.ApplyBytes(len(p))
+	if dec.Err != nil && n == 0 {
+		return dec.Err
+	}
+	copy(b.buf[b.n:], p[:n])
+	b.n += n
+	b.mem.ChargeWrite(n)
+	return dec.Err
+}
+
+// Truncate discards appended bytes past n, so restart can cut a torn
+// record tail back to the last cleanly decodable boundary.
+func (b *Block) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n < b.n {
+		b.n = n
+	}
 }
 
 // Bytes returns the appended contents, charging stable-read cost.

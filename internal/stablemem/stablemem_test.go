@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"mmdb/internal/cost"
+	"mmdb/internal/fault"
 )
 
 func TestReserveRelease(t *testing.T) {
@@ -44,14 +45,14 @@ func TestBlockAppendBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !b.Append([]byte("hello")) {
-		t.Fatal("append failed")
+	if err := b.Append([]byte("hello")); err != nil {
+		t.Fatalf("append failed: %v", err)
 	}
-	if !b.Append([]byte(" world")) {
-		t.Fatal("second append failed")
+	if err := b.Append([]byte(" world")); err != nil {
+		t.Fatalf("second append failed: %v", err)
 	}
-	if b.Append(make([]byte, 6)) {
-		t.Fatal("overflowing append succeeded")
+	if err := b.Append(make([]byte, 6)); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("overflowing append: got %v, want ErrNoSpace", err)
 	}
 	if got := b.Bytes(); !bytes.Equal(got, []byte("hello world")) {
 		t.Fatalf("Bytes() = %q", got)
@@ -126,7 +127,7 @@ func TestBlockAppendProperty(t *testing.T) {
 		}
 		var want []byte
 		for _, c := range chunks {
-			if b.Append(c) {
+			if b.Append(c) == nil {
 				want = append(want, c...)
 			}
 		}
@@ -134,5 +135,49 @@ func TestBlockAppendProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBlockTornAppendAndTruncate(t *testing.T) {
+	m := New(1024, 1, nil)
+	inj := fault.NewInjector(fault.Plan{Seed: 3, Rules: []fault.Rule{
+		{Point: fault.PointStableAppend, Hit: 2, Act: fault.ActCrashTorn, Torn: 4},
+	}})
+	m.SetInjector(inj)
+	b, err := m.NewBlock(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append([]byte("clean-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append([]byte("torn-record")); !fault.IsCrash(err) {
+		t.Fatalf("torn append: %v, want crash", err)
+	}
+	want := []byte("clean-recordtorn")
+	if got := b.Bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("block after torn append = %q, want %q", got, want)
+	}
+	// Restart cuts the torn tail back to the record boundary.
+	b.Truncate(len("clean-record"))
+	if got := b.Bytes(); !bytes.Equal(got, []byte("clean-record")) {
+		t.Fatalf("block after truncate = %q", got)
+	}
+	// Truncate never grows and clamps negatives.
+	b.Truncate(1000)
+	if b.Len() != len("clean-record") {
+		t.Fatalf("Truncate grew the block to %d", b.Len())
+	}
+	b.Truncate(-1)
+	if b.Len() != 0 {
+		t.Fatalf("Truncate(-1) left %d bytes", b.Len())
+	}
+	// All appends fail while the machine is crashed.
+	if err := b.Append([]byte("x")); !fault.IsCrash(err) {
+		t.Fatalf("append on crashed machine: %v", err)
+	}
+	inj.Reset()
+	if err := b.Append([]byte("x")); err != nil {
+		t.Fatalf("append after reset: %v", err)
 	}
 }

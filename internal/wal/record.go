@@ -228,3 +228,19 @@ func DecodeAll(buf []byte) ([]Record, error) {
 	}
 	return out, nil
 }
+
+// ValidPrefix returns the length of the longest prefix of buf that is a
+// clean concatenation of whole records. Restart uses it to cut a torn
+// record tail — left by a crash mid-append into a stable log page
+// buffer — back to the last record boundary.
+func ValidPrefix(buf []byte) int {
+	pos := 0
+	for pos < len(buf) {
+		_, n, err := Decode(buf[pos:])
+		if err != nil {
+			return pos
+		}
+		pos += n
+	}
+	return pos
+}

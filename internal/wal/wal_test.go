@@ -243,3 +243,40 @@ func TestPageQuickRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestValidPrefix(t *testing.T) {
+	var buf []byte
+	var bounds []int
+	for i := 0; i < 5; i++ {
+		r := sampleRecord()
+		r.Slot = addr.Slot(i)
+		buf = r.Encode(buf)
+		bounds = append(bounds, len(buf))
+	}
+	if got := ValidPrefix(buf); got != len(buf) {
+		t.Fatalf("ValidPrefix(clean) = %d, want %d", got, len(buf))
+	}
+	if got := ValidPrefix(nil); got != 0 {
+		t.Fatalf("ValidPrefix(nil) = %d", got)
+	}
+	// Every torn cut inside the last record reports the boundary of the
+	// second-to-last record (or possibly earlier if a suffix happens to
+	// decode; it must never exceed the cut).
+	last := bounds[len(bounds)-2]
+	for cut := last + 1; cut < len(buf); cut++ {
+		got := ValidPrefix(buf[:cut])
+		if got > cut {
+			t.Fatalf("ValidPrefix(%d-byte tear) = %d, exceeds input", cut, got)
+		}
+		if got != last && got != cut {
+			// A tear either truncates the final record (prefix = last
+			// whole-record boundary) or coincidentally still decodes;
+			// for this fixed payload it must be the boundary.
+			t.Fatalf("ValidPrefix(%d-byte tear) = %d, want %d", cut, got, last)
+		}
+	}
+	// Garbage after clean records stops at the garbage.
+	if got := ValidPrefix(append(append([]byte(nil), buf[:last]...), 0x00, 0xFF)); got != last {
+		t.Fatalf("ValidPrefix(garbage tail) = %d, want %d", got, last)
+	}
+}

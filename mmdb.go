@@ -372,6 +372,10 @@ func (db *DB) Crash() *Hardware {
 	db.mu.Lock()
 	db.closed = true
 	db.mu.Unlock()
+	// Halt the simulated machine first: with a fault injector attached,
+	// every in-flight device operation fails from this instant, so the
+	// failure is sharp even while goroutines are still winding down.
+	db.cfg.FaultInjector.ForceCrash()
 	db.mgr.Stop()
 	return db.mgr.Hardware()
 }

@@ -87,11 +87,7 @@ func TestCheckpointsUnderConcurrentWriters(t *testing.T) {
 	}
 
 	// Crash and compare against the writers' records.
-	hw := db.Crash()
-	db2, err := Recover(hw, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	db2 := crashAndRecover(t, db, cfg)
 	defer db2.Close()
 	rel2, err := db2.GetRelation("hot")
 	if err != nil {

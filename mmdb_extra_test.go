@@ -47,11 +47,7 @@ func TestDropRelation(t *testing.T) {
 	}
 	mustCommit(t, tx2)
 	db.WaitIdle()
-	hw := db.Crash()
-	db2, err := Recover(hw, testConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	db2 := crashAndRecover(t, db, testConfig())
 	defer db2.Close()
 	rel3, err := db2.GetRelation("doomed")
 	if err != nil {
@@ -120,11 +116,7 @@ func TestPreload(t *testing.T) {
 	}
 	mustCommit(t, tx)
 	db.WaitIdle()
-	hw := db.Crash()
-	db2, err := Recover(hw, testConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	db2 := crashAndRecover(t, db, testConfig())
 	defer db2.Close()
 	rel2, _ := db2.GetRelation("r")
 	before := db2.Stats().PartsRecovered
@@ -163,11 +155,7 @@ func TestBackgroundRecovery(t *testing.T) {
 	}
 	mustCommit(t, tx)
 	db.WaitIdle()
-	hw := db.Crash()
-	db2, err := Recover(hw, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	db2 := crashAndRecover(t, db, cfg)
 	defer db2.Close()
 	// Without touching anything, the background sweep should restore
 	// all partitions.
@@ -266,6 +254,7 @@ func TestMediaFailureRecovery(t *testing.T) {
 	}
 	db.WaitIdle()
 	hw := db.Crash()
+	cfg.FaultInjector.ClearCrash() // power back on for the rebuild
 
 	// The checkpoint disk set burns down. Every image is gone.
 	hw.Ckpt.Fail()
@@ -313,11 +302,7 @@ func TestMediaFailureRecovery(t *testing.T) {
 	}
 	mustCommit(t, tx3)
 	db2.WaitIdle()
-	hw2 := db2.Crash()
-	db3, err := Recover(hw2, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	db3 := crashAndRecover(t, db2, cfg)
 	defer db3.Close()
 	rel3, _ := db3.GetRelation("r")
 	tx4 := db3.Begin()
@@ -383,11 +368,7 @@ func TestConcurrentWorkloadThenCrash(t *testing.T) {
 	}
 	wg.Wait()
 	db.WaitIdle()
-	hw := db.Crash()
-	db2, err := Recover(hw, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	db2 := crashAndRecover(t, db, cfg)
 	defer db2.Close()
 	total := 0
 	for i := range rels {

@@ -88,11 +88,7 @@ func TestMetricsAfterWorkload(t *testing.T) {
 			st.PagesFlushed, s.Subsystem("log").Counter("pages_flushed"))
 	}
 
-	hw := db.Crash()
-	db2, err := Recover(hw, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	db2 := crashAndRecover(t, db, cfg)
 	defer db2.Close()
 	rel2, err := db2.GetRelation("accounts")
 	if err != nil {

@@ -197,11 +197,7 @@ func runCrashProperty(t *testing.T, seed int64) {
 		}
 
 		db.WaitIdle()
-		hw := db.Crash()
-		db, err = Recover(hw, cfg)
-		if err != nil {
-			t.Fatalf("round %d: recover: %v", round, err)
-		}
+		db = crashAndRecover(t, db, cfg)
 		for i := range rels {
 			rels[i], err = db.GetRelation(fmt.Sprintf("rel%d", i))
 			if err != nil {
@@ -220,11 +216,7 @@ func runCrashProperty(t *testing.T, seed int64) {
 				break
 			}
 			_ = tx.Abort()
-			hw := db.Crash()
-			db, err = Recover(hw, cfg)
-			if err != nil {
-				t.Fatalf("round %d: double recover: %v", round, err)
-			}
+			db = crashAndRecover(t, db, cfg)
 			for i := range rels {
 				rels[i], err = db.GetRelation(fmt.Sprintf("rel%d", i))
 				if err != nil {
@@ -287,11 +279,7 @@ func TestCrashDuringCheckpointWindows(t *testing.T) {
 			case <-time.After(5 * time.Second):
 				t.Fatal("no checkpoint attempt reached the fault point")
 			}
-			hw := db.Crash()
-			db2, err := Recover(hw, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
+			db2 := crashAndRecover(t, db, cfg)
 			defer db2.Close()
 			rel2, _ := db2.GetRelation("r")
 			tx := db2.Begin()

@@ -146,11 +146,7 @@ func TestSoakSustainedWorkloadWithCrashes(t *testing.T) {
 
 		db.WaitIdle()
 		st := db.Stats()
-		hw := db.Crash()
-		db, err = Recover(hw, cfg)
-		if err != nil {
-			t.Fatalf("phase %d: %v", phase, err)
-		}
+		db = crashAndRecover(t, db, cfg)
 		for i := range rels {
 			rels[i], err = db.GetRelation(fmt.Sprintf("soak%d", i))
 			if err != nil {

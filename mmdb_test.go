@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"mmdb/internal/fault"
 	"mmdb/internal/heap"
 )
 
@@ -22,6 +23,9 @@ func testConfig() Config {
 	cfg.CheckpointTracks = 512
 	cfg.StableBytes = 16 << 20
 	cfg.BackgroundRecovery = false // tests control recovery explicitly
+	// An (initially empty) injector so test crashes go through the same
+	// fault machinery as the crashhunt sweeps.
+	cfg.FaultInjector = fault.NewInjector(fault.Plan{})
 	return cfg
 }
 
@@ -45,6 +49,23 @@ func mustCommit(t *testing.T, tx *Txn) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// crashAndRecover simulates a hard machine crash of db and brings a new
+// instance up from the surviving hardware through the normal §2.5
+// restart, failing the test on any recovery error. DB.Crash routes the
+// halt through the config's fault injector so in-flight simulated I/O
+// fails sharply — the same crash the crashhunt sweep injects — and the
+// injector is power-cycled before recovery runs.
+func crashAndRecover(tb testing.TB, db *DB, cfg Config) *DB {
+	tb.Helper()
+	hw := db.Crash()
+	cfg.FaultInjector.ClearCrash()
+	db2, err := Recover(hw, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return db2
 }
 
 func TestBasicCRUD(t *testing.T) {
@@ -145,12 +166,7 @@ func TestCrashRecoverNoCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.WaitIdle()
-	hw := db.Crash()
-
-	db2, err := Recover(hw, testConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	db2 := crashAndRecover(t, db, testConfig())
 	defer db2.Close()
 	rel2, err := db2.GetRelation("accounts")
 	if err != nil {
@@ -199,12 +215,7 @@ func TestCrashRecoverWithCheckpoints(t *testing.T) {
 	if db.Stats().CkptCompleted == 0 {
 		t.Fatal("no checkpoints completed despite low threshold")
 	}
-	hw := db.Crash()
-
-	db2, err := Recover(hw, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	db2 := crashAndRecover(t, db, cfg)
 	defer db2.Close()
 	rel2, _ := db2.GetRelation("accounts")
 	tx := db2.Begin()
@@ -250,12 +261,7 @@ func TestIndexSurvivesCrash(t *testing.T) {
 	}
 	mustCommit(t, tx)
 	db.WaitIdle()
-	hw := db.Crash()
-
-	db2, err := Recover(hw, testConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	db2 := crashAndRecover(t, db, testConfig())
 	defer db2.Close()
 	rel2, _ := db2.GetRelation("accounts")
 	bt := rel2.Index("by_id")
@@ -330,11 +336,7 @@ func TestRepeatedCrashes(t *testing.T) {
 		}
 		mustCommit(t, tx)
 		db.WaitIdle()
-		hw := db.Crash()
-		db, err = Recover(hw, cfg)
-		if err != nil {
-			t.Fatalf("round %d: %v", round, err)
-		}
+		db = crashAndRecover(t, db, cfg)
 		rel, err = db.GetRelation("r")
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
