@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,44 @@ import (
 	"mmdb/internal/fault"
 	"mmdb/internal/fault/sweep"
 )
+
+// jsonReport is the machine-readable sweep result written by -json,
+// stable enough for CI artifact consumers to parse.
+type jsonReport struct {
+	Seed         int64            `json:"seed"`
+	PlansRun     int              `json:"plans_run"`
+	RulesFired   int              `json:"rules_fired"`
+	CrashesFired int              `json:"crashes_fired"`
+	BaselineHits map[string]int64 `json:"baseline_hits"`
+	Violations   []jsonViolation  `json:"violations"`
+}
+
+// jsonViolation is one failure with its reproducer plan and the
+// recovered pre-crash flight-recorder timeline.
+type jsonViolation struct {
+	Plan  string   `json:"plan"`
+	Desc  string   `json:"desc"`
+	Trace []string `json:"trace,omitempty"`
+}
+
+// writeJSON writes the report to path ("-" means stdout).
+func writeJSON(path string, rep jsonReport) error {
+	if rep.Violations == nil {
+		rep.Violations = []jsonViolation{}
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
 
 func main() {
 	var (
@@ -37,6 +76,7 @@ func main() {
 		planStr  = flag.String("plan", "", "replay one explicit plan instead of sweeping")
 		breakDup = flag.Bool("break-duplex", false, "sabotage: disable the duplexed-read fallback, demonstrating sweep failure detection")
 		verbose  = flag.Bool("v", false, "log every plan as it runs")
+		jsonPath = flag.String("json", "", "write machine-readable sweep results to this path (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -70,6 +110,7 @@ func main() {
 		fired, vio := sweep.Replay(opts, plan)
 		if vio != nil {
 			fmt.Printf("VIOLATION %s\n", vio)
+			printTrace(vio)
 			os.Exit(1)
 		}
 		fmt.Printf("crashhunt: plan %q ok (rules fired: %d)\n", plan.String(), fired)
@@ -97,11 +138,44 @@ func main() {
 	fmt.Printf("crashhunt: seed=%d baseline hits: %s\n", *seed, strings.Join(pts, " "))
 	fmt.Printf("crashhunt: %d plans run, %d rules fired, %d distinct crash points exercised, %d violations\n",
 		res.PlansRun, res.RulesFired, res.CrashesFired, len(res.Violations))
+	if *jsonPath != "" {
+		rep := jsonReport{
+			Seed:         *seed,
+			PlansRun:     res.PlansRun,
+			RulesFired:   res.RulesFired,
+			CrashesFired: res.CrashesFired,
+			BaselineHits: make(map[string]int64, len(res.BaselineHits)),
+		}
+		for p, n := range res.BaselineHits {
+			rep.BaselineHits[string(p)] = n
+		}
+		for _, v := range res.Violations {
+			rep.Violations = append(rep.Violations, jsonViolation{
+				Plan: v.Plan.String(), Desc: v.Desc, Trace: v.Trace,
+			})
+		}
+		if err := writeJSON(*jsonPath, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "crashhunt: writing %s: %v\n", *jsonPath, err)
+			os.Exit(2)
+		}
+	}
 	if len(res.Violations) > 0 {
 		for _, v := range res.Violations {
 			fmt.Printf("VIOLATION %s\n", v)
+			printTrace(&v)
 		}
 		os.Exit(1)
+	}
+}
+
+// printTrace dumps the violation's recovered pre-crash timeline.
+func printTrace(v *sweep.Violation) {
+	if len(v.Trace) == 0 {
+		return
+	}
+	fmt.Printf("  pre-crash flight recorder (%d events):\n", len(v.Trace))
+	for _, line := range v.Trace {
+		fmt.Printf("    %s\n", line)
 	}
 }
 

@@ -9,10 +9,14 @@
 //	lookup <rel> <index> <key>
 //	delete <rel> <seg.part.slot>
 //	stats | metrics | bins | crash | help | quit
+//	trace                           print the recent event timeline
+//	trace crash                     print the recovered pre-crash timeline
+//	trace export <file>             write Chrome trace_event JSON
 //
 // Each data command runs in its own transaction. After "crash" the
 // shell recovers automatically and keeps going — data written before
-// the crash survives.
+// the crash survives; "trace crash" then shows the flight-recorder
+// timeline the crashed generation left in stable memory.
 //
 // With -metrics-json PATH, the shell writes an expvar-style JSON dump
 // of the final metrics snapshot to PATH on exit ("-" for stdout).
@@ -57,6 +61,10 @@ func dumpMetrics(db *mmdb.DB) {
 func main() {
 	flag.Parse()
 	cfg := mmdb.DefaultConfig()
+	// Tracing is always on in the shell: the rings are small and the
+	// whole point of the tool is watching the machinery work.
+	cfg.TraceBufferEvents = 1 << 14
+	cfg.FlightRecorderBytes = 32 << 10
 	db, err := mmdb.Open(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -79,7 +87,12 @@ func main() {
 			_ = db.Close()
 			return
 		case "help":
-			fmt.Println("create index insert get scan lookup delete stats metrics bins crash quit")
+			fmt.Println("create index insert get scan lookup delete stats metrics bins trace crash quit")
+			fmt.Println("trace [crash | export <file>]")
+		case "trace":
+			if err := traceCmd(db, fields[1:]); err != nil {
+				fmt.Println("error:", err)
+			}
 		case "crash":
 			hw := db.Crash()
 			db, err = mmdb.Recover(hw, cfg)
@@ -106,6 +119,54 @@ func main() {
 	// EOF on stdin (piped input) ends the session like "quit".
 	dumpMetrics(db)
 	_ = db.Close()
+}
+
+// traceCmd implements "trace", "trace crash", and "trace export <file>".
+func traceCmd(db *mmdb.DB, args []string) error {
+	if len(args) == 0 {
+		return printEvents(db.TraceEvents(), "no trace events (tracing rings are empty)")
+	}
+	switch args[0] {
+	case "crash":
+		return printEvents(db.CrashTrace(),
+			"no recovered crash trace (no crash yet, or the crashed generation ran without a flight recorder)")
+	case "export":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: trace export <file>")
+		}
+		f, err := os.Create(args[1])
+		if err != nil {
+			return err
+		}
+		if err := db.ExportChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s (load in chrome://tracing or Perfetto)\n",
+			len(db.TraceEvents()), args[1])
+		return nil
+	default:
+		return fmt.Errorf("usage: trace [crash | export <file>]")
+	}
+}
+
+func printEvents(events []mmdb.TraceEvent, empty string) error {
+	if len(events) == 0 {
+		fmt.Println(empty)
+		return nil
+	}
+	const tail = 200
+	if len(events) > tail {
+		fmt.Printf("... (%d earlier events omitted)\n", len(events)-tail)
+		events = events[len(events)-tail:]
+	}
+	for _, e := range events {
+		fmt.Println(e.String())
+	}
+	return nil
 }
 
 func command(db *mmdb.DB, f []string) error {

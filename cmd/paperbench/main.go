@@ -15,6 +15,7 @@
 //	paperbench ablate-commit    A3: instant vs disk-forced commit
 //	paperbench ablate-accum     A4: change accumulation (§1.2 extension)
 //	paperbench metrics          measured latency histograms from a real DB run
+//	paperbench trace            Chrome trace_event export of a crash/recovery cycle
 //	paperbench all              everything above
 package main
 
@@ -48,6 +49,7 @@ func main() {
 		"ablate-commit":    ablateCommit,
 		"ablate-accum":     ablateAccum,
 		"metrics":          metricsReport,
+		"trace":            traceReport,
 	}
 	run := func(name string) {
 		fn, ok := cmds[name]
@@ -63,7 +65,7 @@ func main() {
 	if args[0] == "all" {
 		for _, name := range []string{"table2", "graph1", "graph2", "graph3", "recovery",
 			"predeclare", "ablate-directory", "ablate-hotspot", "ablate-commit", "ablate-accum",
-			"metrics"} {
+			"metrics", "trace"} {
 			run(name)
 			fmt.Println()
 		}
@@ -75,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: paperbench [-quick] {table2|graph1|graph2|graph3|recovery|ablate-directory|ablate-hotspot|ablate-commit|ablate-accum|metrics|all}")
+	fmt.Fprintln(os.Stderr, "usage: paperbench [-quick] [-trace-out FILE] {table2|graph1|graph2|graph3|recovery|ablate-directory|ablate-hotspot|ablate-commit|ablate-accum|metrics|trace|all}")
 }
 
 func n(full int) int {

@@ -10,6 +10,7 @@ import (
 	"mmdb/internal/fault"
 	"mmdb/internal/lock"
 	"mmdb/internal/simdisk"
+	"mmdb/internal/trace"
 	"mmdb/internal/wal"
 )
 
@@ -91,6 +92,7 @@ func (m *Manager) checkpointer() {
 			}
 			if err := m.runCheckpoint(req); err != nil {
 				m.metrics.CkptFailed.Add(1)
+				m.tracer.Emit(pidEvent(trace.Event{Kind: trace.KindCkptFail}, req.pid))
 				m.clearFence(req.pid)
 				select {
 				case <-m.stop:
@@ -146,6 +148,9 @@ func (m *Manager) runCheckpoint(req *ckptReq) error {
 	}
 	start := time.Now()
 	t := m.Txns.Begin()
+	m.tracer.Emit(pidEvent(trace.Event{
+		Kind: trace.KindCkptBegin, Txn: t.ID(), Arg2: uint64(req.trigger),
+	}, pid))
 	committed := false
 	defer func() {
 		if !committed {
@@ -197,6 +202,9 @@ func (m *Manager) runCheckpoint(req *ckptReq) error {
 		m.dmap.free(track)
 		return err
 	}
+	m.tracer.Emit(pidEvent(trace.Event{
+		Kind: trace.KindCkptTrack, Txn: t.ID(), Arg: uint64(track),
+	}, pid))
 	if m.Hooks.AfterImageWrite != nil {
 		if err := m.Hooks.AfterImageWrite(pid); err != nil {
 			m.dmap.free(track)
@@ -235,6 +243,9 @@ func (m *Manager) runCheckpoint(req *ckptReq) error {
 	committed = true
 	m.metrics.CkptDuration.ObserveSince(start)
 	m.metrics.CkptImageBytes.Observe(int64(len(img)))
+	m.tracer.Emit(pidEvent(trace.Event{
+		Kind: trace.KindCkptEnd, Txn: t.ID(), Arg: uint64(len(img)),
+	}, pid))
 	m.dmap.free(oldTrack)
 	if oldTrack != simdisk.NilTrack {
 		m.hw.Ckpt.FreeTrack(oldTrack)

@@ -64,6 +64,16 @@ type Config struct {
 	// tear, or corrupt I/O at named fault points. Nil costs one branch
 	// per instrumented operation.
 	FaultInjector *fault.Injector
+	// TraceBufferEvents sizes the volatile trace ring (decoded events
+	// kept in process for live inspection and Chrome export). 0
+	// disables it.
+	TraceBufferEvents int
+	// FlightRecorderBytes sizes the stable-memory flight recorder: a
+	// crash-surviving ring of encoded trace events, recovered on
+	// restart and exposed as the crash trace. 0 disables it; the bytes
+	// count against StableBytes. With both trace knobs zero the tracer
+	// is nil and every instrumented path pays a single branch.
+	FlightRecorderBytes int
 }
 
 // DefaultConfig returns the paper's environment: 48 KB partitions, 8 KB

@@ -11,6 +11,7 @@ import (
 	"mmdb/internal/lock"
 	"mmdb/internal/mm"
 	"mmdb/internal/simdisk"
+	"mmdb/internal/trace"
 	"mmdb/internal/txn"
 	"mmdb/internal/wal"
 )
@@ -100,6 +101,12 @@ type Manager struct {
 	// used to live in an ad-hoc stats struct are now registry-backed
 	// (Stats() is a compatibility shim over it).
 	metrics *Metrics
+
+	// tracer is the structured event tracer (nil when tracing is off);
+	// crashTrace is the prior generation's flight-recorder timeline,
+	// recovered from stable memory when this manager attached.
+	tracer     *trace.Tracer
+	crashTrace []trace.Event
 }
 
 // New creates the recovery component over hardware hw. For a fresh
@@ -138,6 +145,15 @@ func New(hw *Hardware, cfg Config, store *mm.Store, locks *lock.Manager) (*Manag
 	// outlives managers) and surface its activity in this generation's
 	// registry. A nil injector detaches everything.
 	m.inj = cfg.FaultInjector
+	// Attach the tracer before anything can emit: it recovers the prior
+	// generation's flight recorder from stable memory and re-arms (or
+	// frees) the ring per this generation's config.
+	if err := m.wireTrace(); err != nil {
+		return nil, err
+	}
+	s.tracer = m.tracer
+	locks.Tracer = m.tracer
+	m.Txns.Tracer = m.tracer
 	hw.Stable.SetInjector(m.inj)
 	hw.Log.Primary.SetInjector(m.inj, fault.PointLogWritePrimary, fault.PointLogReadPrimary)
 	hw.Log.Mirror.SetInjector(m.inj, fault.PointLogWriteMirror, fault.PointLogReadMirror)
@@ -433,6 +449,9 @@ func (m *Manager) flushBinPageLocked(b *bin) error {
 		return err
 	}
 	m.metrics.PageFlushLatency.ObserveSince(flushStart)
+	m.tracer.Emit(pidEvent(trace.Event{
+		Kind: trace.KindPageFlush, LSN: uint64(lsn), Arg: uint64(b.curCount),
+	}, b.pid))
 	wasFirst := len(b.pages) == 0
 	b.pages = append(b.pages, lsn)
 	b.prevLSN = lsn

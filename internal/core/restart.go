@@ -8,6 +8,7 @@ import (
 	"mmdb/internal/catalog"
 	"mmdb/internal/mm"
 	"mmdb/internal/simdisk"
+	"mmdb/internal/trace"
 	"mmdb/internal/wal"
 )
 
@@ -29,6 +30,8 @@ func (m *Manager) Restart() (*catalog.Root, error) {
 	// first transaction: stable-log drain plus catalog restore (§2.5).
 	scanStart := time.Now()
 	defer m.metrics.RestartRootScan.ObserveSince(scanStart)
+	m.tracer.Emit(trace.Event{Kind: trace.KindRootScanBegin})
+	defer m.tracer.Emit(trace.Event{Kind: trace.KindRootScanEnd})
 	m.DrainStableOnly()
 	root := m.slt.rootCopy()
 	// Restore the catalogs first (§2.5): their partition addresses
@@ -182,6 +185,11 @@ func (m *Manager) backgroundSweep() {
 	}
 	sweepStart := time.Now()
 	defer m.metrics.BackgroundSweep.ObserveSince(sweepStart)
+	m.tracer.Emit(trace.Event{Kind: trace.KindSweepBegin})
+	visited := 0
+	defer func() {
+		m.tracer.Emit(trace.Event{Kind: trace.KindSweepEnd, Arg: uint64(visited)})
+	}()
 	pids, err := m.cb.AllPartitions()
 	if err != nil {
 		return
@@ -198,6 +206,7 @@ func (m *Manager) backgroundSweep() {
 		// Demand through the store so concurrent foreground demand
 		// coalesces into a single recovery transaction.
 		_, _ = m.store.Partition(pid)
+		visited++
 	}
 }
 
@@ -234,6 +243,7 @@ func (m *Manager) RecoverPartition(pid addr.PartitionID, track simdisk.TrackLoc)
 	}
 	m.slt.st.mu.Unlock()
 
+	applied := 0
 	for _, lsn := range pages {
 		raw, err := m.hw.Log.Read(lsn)
 		if err != nil {
@@ -246,17 +256,25 @@ func (m *Manager) RecoverPartition(pid addr.PartitionID, track simdisk.TrackLoc)
 		if err := pg.CheckPID(pid); err != nil {
 			return nil, err
 		}
-		if _, err := applyRecords(p, pg.Records); err != nil {
+		n, err := applyRecords(p, pg.Records)
+		if err != nil {
 			return nil, err
 		}
+		applied += n
 		m.metrics.RecoveryLogPages.Add(1)
 	}
 	if len(curRecs) > 0 {
-		if _, err := applyRecords(p, curRecs); err != nil {
+		n, err := applyRecords(p, curRecs)
+		if err != nil {
 			return nil, err
 		}
+		applied += n
 	}
 	m.metrics.PartsRecovered.Add(1)
 	m.metrics.PartitionRecovery.ObserveSince(recStart)
+	m.tracer.Emit(pidEvent(trace.Event{
+		Kind: trace.KindPartRedo,
+		Arg:  uint64(applied), Arg2: uint64(len(pages)),
+	}, pid))
 	return p, nil
 }

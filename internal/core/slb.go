@@ -8,6 +8,7 @@ import (
 	"mmdb/internal/addr"
 	"mmdb/internal/metrics"
 	"mmdb/internal/stablemem"
+	"mmdb/internal/trace"
 	"mmdb/internal/wal"
 )
 
@@ -89,6 +90,8 @@ type slb struct {
 	// writeLatency observes the duration of each WriteRecord call —
 	// the main-CPU cost of logging one REDO record (§2.3.1). Nil-safe.
 	writeLatency *metrics.Histogram
+	// tracer emits one slb-append event per record write. Nil-safe.
+	tracer *trace.Tracer
 }
 
 func newSLB(mem *stablemem.Memory, blockSz int) (*slb, error) {
@@ -149,6 +152,11 @@ func (s *slb) WriteRecord(rec *wal.Record) error {
 	if err := c.blocks[len(c.blocks)-1].Append(enc); err != nil {
 		return fmt.Errorf("core: SLB block append: %w", err)
 	}
+	s.tracer.Emit(trace.Event{
+		Kind: trace.KindSLBAppend, Txn: rec.Txn,
+		Seg: uint64(rec.PID.Segment), Part: uint64(rec.PID.Part),
+		Arg: uint64(len(enc)),
+	})
 	return nil
 }
 

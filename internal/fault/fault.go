@@ -309,6 +309,16 @@ type Counters struct {
 	TornWrites *metrics.Counter // writes torn at a byte boundary
 }
 
+// EventSink observes rule firings for the trace layer: it receives the
+// point, the 1-based hit index, and the action applied. The sink runs
+// outside the injector's mutex, on the faulting goroutine, before the
+// decision is returned to the instrumented operation — so a crash-act
+// firing can be recorded by a flight recorder before the machine halt
+// propagates. The fault package deliberately does not import the trace
+// package (the trace ring lives in stable memory, which this package
+// instruments); the recovery component bridges the two.
+type EventSink func(p Point, hit int64, act Act)
+
 // Injector evaluates a Plan against named fault points. All methods
 // are safe on a nil receiver (the off state) and for concurrent use.
 type Injector struct {
@@ -320,6 +330,7 @@ type Injector struct {
 	hits     map[Point]int64
 	fired    int64
 	counters Counters
+	sink     EventSink
 }
 
 // NewInjector creates an injector armed with plan (an empty plan gives
@@ -455,6 +466,17 @@ func (in *Injector) SetCounters(c Counters) {
 	c.Armed.Add(int64(n))
 }
 
+// SetEventSink installs the trace bridge invoked on every rule firing.
+// A nil sink detaches.
+func (in *Injector) SetEventSink(s EventSink) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.sink = s
+	in.mu.Unlock()
+}
+
 // Check is the hot-path hook instrumented operations call: it counts
 // the hit, evaluates rules, and returns the decision. size is the
 // payload length (0 for control points). Nil-safe.
@@ -481,11 +503,17 @@ func (in *Injector) Check(p Point, size int) Decision {
 	}
 	in.fired++
 	c := in.counters
+	sink := in.sink
 	seed := in.seed
 	r := *match
 	in.mu.Unlock()
 
 	c.Triggered.Inc()
+	if sink != nil {
+		// Recorded before the halt is applied, so a flight recorder can
+		// capture the trigger as its final pre-crash event.
+		sink(p, hit, r.Act)
+	}
 	d := proceed
 	switch r.Act {
 	case ActCrashBefore:

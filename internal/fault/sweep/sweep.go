@@ -96,6 +96,11 @@ func (o *Options) defaults() {
 type Violation struct {
 	Plan fault.Plan
 	Desc string
+	// Trace is the pre-crash flight-recorder timeline recovered from
+	// stable memory on the cycle's last restart: the exact event
+	// sequence leading up to the injected crash, one formatted line per
+	// event. Empty when the plan failed before any recovery happened.
+	Trace []string
 }
 
 func (v Violation) String() string {
@@ -134,6 +139,12 @@ func Config() mmdb.Config {
 	cfg.CheckpointTracks = 512
 	cfg.StableBytes = 8 << 20
 	cfg.BackgroundRecovery = false // the warm-up phase demands recovery deterministically
+	// The flight recorder rides along so every violation report carries
+	// the pre-crash event timeline. Its ring writes bypass the fault
+	// points (stablemem.Region is uninstrumented), so enabling it does
+	// not shift plan hit counts.
+	cfg.TraceBufferEvents = 4096
+	cfg.FlightRecorderBytes = 32 << 10
 	return cfg
 }
 
@@ -284,6 +295,9 @@ type runner struct {
 
 	hits  map[fault.Point]int64
 	fired int64
+	// trace holds the most recently recovered flight-recorder timeline,
+	// attached to any violation the rest of the cycle reports.
+	trace []string
 }
 
 func runPlan(opts *Options, plan fault.Plan) planResult {
@@ -333,6 +347,14 @@ func (r *runner) run() *Violation {
 			return r.viof("recovery did not converge after %d power cycles", maxRecoveryCycles)
 		}
 		d, err := mmdb.Recover(hw, r.cfg)
+		if err == nil {
+			if ct := d.CrashTrace(); len(ct) > 0 {
+				r.trace = r.trace[:0]
+				for _, e := range ct {
+					r.trace = append(r.trace, e.String())
+				}
+			}
+		}
 		if err != nil {
 			if !fault.IsFault(err) {
 				return r.viof("recover: %v", err)
@@ -774,5 +796,9 @@ func (r *runner) probe(db *mmdb.DB) *Violation {
 }
 
 func (r *runner) viof(format string, args ...any) *Violation {
-	return &Violation{Plan: r.plan, Desc: fmt.Sprintf(format, args...)}
+	return &Violation{
+		Plan:  r.plan,
+		Desc:  fmt.Sprintf(format, args...),
+		Trace: append([]string(nil), r.trace...),
+	}
 }

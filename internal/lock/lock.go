@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mmdb/internal/metrics"
+	"mmdb/internal/trace"
 )
 
 // Mode is a lock mode.
@@ -127,6 +128,10 @@ type Manager struct {
 	// (nil-safe) set once before the manager is shared.
 	WaitLatency   *metrics.Histogram
 	DeadlockCount *metrics.Counter
+
+	// Tracer records block/grant/deadlock events (nil-safe), also set
+	// once before the manager is shared.
+	Tracer *trace.Tracer
 }
 
 // NewManager creates an empty lock table.
@@ -257,6 +262,7 @@ func (m *Manager) resolveDeadlocks(prefer uint64) {
 		}
 		m.cancelWait(victim, fmt.Errorf("%w: txn %d chosen as victim", ErrDeadlock, victim))
 		m.DeadlockCount.Inc()
+		m.Tracer.Emit(trace.Event{Kind: trace.KindLockDeadlock, Txn: victim})
 	}
 }
 
@@ -317,12 +323,22 @@ func (m *Manager) Lock(txn uint64, name Name, mode Mode) error {
 	}
 	m.resolveDeadlocks(txn)
 
+	m.Tracer.Emit(trace.Event{
+		Kind: trace.KindLockBlock, Txn: txn,
+		Arg: name.ID, Arg2: uint64(name.Kind),
+	})
 	waitStart := time.Now()
 	for !req.done {
 		req.cond.Wait()
 	}
 	m.WaitLatency.ObserveSince(waitStart)
 	delete(m.waitsFor, txn)
+	if req.err == nil {
+		m.Tracer.Emit(trace.Event{
+			Kind: trace.KindLockGrant, Txn: txn,
+			Arg: name.ID, Arg2: uint64(name.Kind),
+		})
+	}
 	return req.err
 }
 

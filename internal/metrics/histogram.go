@@ -95,6 +95,23 @@ func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()
 // ObserveSince records the latency elapsed since start.
 func (h *Histogram) ObserveSince(start time.Time) { h.ObserveDuration(time.Since(start)) }
 
+// Reset zeroes every bucket and the count/sum/min/max accumulators.
+// Not atomic with respect to concurrent Observe calls: an observation
+// racing the reset may be partially dropped, which is acceptable for
+// aligning measurement windows. Safe on a nil receiver.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(0)
+	h.max.Store(0)
+}
+
 // Count returns the number of observations (0 on a nil receiver).
 func (h *Histogram) Count() int64 {
 	if h == nil {

@@ -44,6 +44,13 @@ func (c *Counter) Add(n int64) {
 // Inc increments the counter by one. Safe on a nil receiver.
 func (c *Counter) Inc() { c.Add(1) }
 
+// Reset zeroes the counter. Safe on a nil receiver.
+func (c *Counter) Reset() {
+	if c != nil {
+		c.v.Store(0)
+	}
+}
+
 // Value returns the current count (0 on a nil receiver).
 func (c *Counter) Value() int64 {
 	if c == nil {
@@ -79,6 +86,9 @@ func (g *Gauge) Value() int64 {
 	}
 	return g.v.Load()
 }
+
+// Reset zeroes the gauge. Safe on a nil receiver.
+func (g *Gauge) Reset() { g.Set(0) }
 
 // metricKind discriminates registered instruments for snapshotting.
 type metricKind uint8
@@ -205,6 +215,34 @@ func (r *Registry) Snapshot() Snapshot {
 		out.Subsystems = append(out.Subsystems, ss)
 	}
 	return out
+}
+
+// Reset zeroes every instrument in the registry, aligning the start of
+// a measurement window with a benchmark phase or trace capture.
+// Observations concurrent with the reset may land on either side of it.
+// Safe on a nil receiver.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	subs := append([]*Subsystem(nil), r.subs...)
+	r.mu.Unlock()
+	for _, s := range subs {
+		s.mu.Lock()
+		ms := append([]*metric(nil), s.metrics...)
+		s.mu.Unlock()
+		for _, m := range ms {
+			switch m.kind {
+			case kindCounter:
+				m.c.Reset()
+			case kindGauge:
+				m.g.Reset()
+			case kindHistogram:
+				m.h.Reset()
+			}
+		}
+	}
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry.

@@ -195,6 +195,55 @@ func (b *Block) Append(p []byte) error {
 	return dec.Err
 }
 
+// Region is a raw fixed-size area of stable memory with random-access
+// reads and writes, for stable structures that manage their own layout
+// (the trace flight recorder). Unlike Block.Append, Region writes are
+// deliberately NOT fault-instrumented: the flight recorder must be able
+// to record the crash itself — the fault-trigger event is written on
+// the way down — and routing its writes through the "stable.append"
+// fault point would both forbid that and shift the point's hit counts,
+// breaking the reproducibility of existing crashhunt plan strings.
+type Region struct {
+	mem *Memory
+	buf []byte
+}
+
+// NewRegion allocates a raw region of the given size, reserving its
+// footprint against the stable capacity.
+func (m *Memory) NewRegion(size int) (*Region, error) {
+	if err := m.Reserve(int64(size)); err != nil {
+		return nil, err
+	}
+	return &Region{mem: m, buf: make([]byte, size)}, nil
+}
+
+// Free releases the region's stable memory reservation.
+func (r *Region) Free() {
+	if r.mem != nil {
+		r.mem.Release(int64(len(r.buf)))
+		r.mem = nil
+	}
+}
+
+// Size returns the region's capacity in bytes.
+func (r *Region) Size() int { return len(r.buf) }
+
+// WriteAt copies p into the region at off, charging stable-write cost.
+// The write must fit; callers own the layout.
+func (r *Region) WriteAt(off int, p []byte) {
+	copy(r.buf[off:], p)
+	r.mem.ChargeWrite(len(p))
+}
+
+// ReadAt copies n bytes at off out of the region, charging stable-read
+// cost.
+func (r *Region) ReadAt(off, n int) []byte {
+	out := make([]byte, n)
+	copy(out, r.buf[off:off+n])
+	r.mem.ChargeRead(n)
+	return out
+}
+
 // Truncate discards appended bytes past n, so restart can cut a torn
 // record tail back to the last cleanly decodable boundary.
 func (b *Block) Truncate(n int) {

@@ -1,0 +1,386 @@
+// Package trace is the structured event-tracing layer of the recovery
+// architecture: where internal/metrics answers "how often / how slow",
+// trace answers "what exactly happened, in what order".
+//
+// Events are compact binary records — a monotonic sim-clock timestamp,
+// a sequence number, an event kind, and the txn / partition / LSN
+// fields relevant to the kind — emitted from the hot paths already
+// instrumented for metrics: transaction begin/commit/abort, lock
+// block/grant/deadlock, SLB record appends, bin page flushes,
+// checkpoint transactions, every restart phase, and fault-injector
+// rule firings.
+//
+// A Tracer feeds two sinks:
+//
+//   - a volatile in-process ring buffer of decoded events, for live
+//     inspection (mmdbsh trace, Chrome trace export);
+//   - an optional flight recorder: a fixed-size ring of encoded events
+//     carved out of stable reliable memory (internal/stablemem), which
+//     survives injected crashes exactly as the Stable Log Buffer does
+//     (§2.2). After a crash, Attach recovers the ring so the restarted
+//     system can dump the precise pre-crash timeline (DB.CrashTrace).
+//
+// The flight recorder is sealed the instant a crash fires — the fault
+// trigger event is the last event written — so the recovered timeline
+// ends at the failure, not in post-crash shutdown noise.
+//
+// A nil *Tracer is the zero-cost off state: every method is
+// nil-receiver safe and untraced hot paths pay a single branch, the
+// same discipline as internal/fault and internal/metrics.
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind identifies one event type.
+type Kind uint8
+
+// The event catalog. See docs/TRACING.md for the fields each kind
+// carries.
+const (
+	KindInvalid Kind = iota
+
+	// Transaction lifecycle (§2.3.1). Arg on commit is the REDO record
+	// count of the transaction.
+	KindTxnBegin
+	KindTxnCommit
+	KindTxnAbort
+
+	// 2PL lock waits (§2.3.2): block/grant pair around a queued wait;
+	// deadlock marks the victim. Arg is the lock name ID, Arg2 its kind.
+	KindLockBlock
+	KindLockGrant
+	KindLockDeadlock
+
+	// One REDO record appended to the Stable Log Buffer (§2.3.1).
+	// Arg is the encoded record size in bytes.
+	KindSLBAppend
+
+	// One bin page written to the duplexed log disks (§2.3.3).
+	// Arg is the record count of the page.
+	KindPageFlush
+
+	// Checkpoint transaction phases (§2.4). Txn is the checkpoint
+	// transaction's ID; CkptTrack's Arg is the checkpoint disk track,
+	// CkptEnd's Arg the image size in bytes.
+	KindCkptBegin
+	KindCkptTrack
+	KindCkptEnd
+	KindCkptFail
+
+	// Restart phases (§2.5): the root scan restores the catalogs before
+	// the first transaction; PartRedo is one per-partition recovery
+	// transaction (Arg = records replayed, Arg2 = log pages read); the
+	// background sweep restores not-yet-demanded partitions (SweepEnd's
+	// Arg = partitions visited).
+	KindRootScanBegin
+	KindRootScanEnd
+	KindPartRedo
+	KindSweepBegin
+	KindSweepEnd
+
+	// A fault-injector rule fired (or DB.Crash forced a halt). Str is
+	// "point:act", Arg the hit index. For crash acts this is, by
+	// construction, the final event of the flight recorder.
+	KindFaultTrigger
+
+	kindMax
+)
+
+var kindNames = [...]string{
+	KindInvalid:       "invalid",
+	KindTxnBegin:      "txn-begin",
+	KindTxnCommit:     "txn-commit",
+	KindTxnAbort:      "txn-abort",
+	KindLockBlock:     "lock-block",
+	KindLockGrant:     "lock-grant",
+	KindLockDeadlock:  "lock-deadlock",
+	KindSLBAppend:     "slb-append",
+	KindPageFlush:     "page-flush",
+	KindCkptBegin:     "ckpt-begin",
+	KindCkptTrack:     "ckpt-track",
+	KindCkptEnd:       "ckpt-end",
+	KindCkptFail:      "ckpt-fail",
+	KindRootScanBegin: "root-scan-begin",
+	KindRootScanEnd:   "root-scan-end",
+	KindPartRedo:      "part-redo",
+	KindSweepBegin:    "sweep-begin",
+	KindSweepEnd:      "sweep-end",
+	KindFaultTrigger:  "fault-trigger",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined event kind.
+func (k Kind) Valid() bool { return k > KindInvalid && k < kindMax }
+
+// Subsystem returns the lane an event kind belongs to, matching the
+// metrics registry's subsystem names.
+func (k Kind) Subsystem() string {
+	switch k {
+	case KindTxnBegin, KindTxnCommit, KindTxnAbort:
+		return "txn"
+	case KindLockBlock, KindLockGrant, KindLockDeadlock:
+		return "lock"
+	case KindSLBAppend:
+		return "slb"
+	case KindPageFlush:
+		return "log"
+	case KindCkptBegin, KindCkptTrack, KindCkptEnd, KindCkptFail:
+		return "checkpoint"
+	case KindRootScanBegin, KindRootScanEnd, KindPartRedo, KindSweepBegin, KindSweepEnd:
+		return "restart"
+	case KindFaultTrigger:
+		return "fault"
+	}
+	return "unknown"
+}
+
+// epoch anchors the monotonic sim clock. All tracer generations within
+// one process share it, so the pre-crash flight-recorder timeline and
+// the post-restart timeline are directly comparable.
+var epoch = time.Now()
+
+// now returns monotonic nanoseconds since the process epoch.
+func now() int64 { return int64(time.Since(epoch)) }
+
+// Event is one trace event. The zero fields of kinds that do not use
+// them cost one varint byte each on the wire.
+type Event struct {
+	TS   int64  // monotonic sim-clock nanoseconds since process start
+	Seq  uint64 // per-tracer-generation sequence number
+	Kind Kind
+	Txn  uint64 // transaction ID, 0 if not transaction-scoped
+	Seg  uint64 // partition address: segment
+	Part uint64 // partition address: partition number
+	LSN  uint64 // log sequence number, 0 if none
+	Arg  uint64 // kind-specific (sizes, counts, hit indexes)
+	Arg2 uint64 // kind-specific secondary argument
+	Str  string // kind-specific label (fault point:act)
+}
+
+// String renders the event as one human-readable line.
+func (e Event) String() string {
+	var b []byte
+	b = fmt.Appendf(b, "[%12.3fms] #%-5d %-10s %-15s", float64(e.TS)/1e6, e.Seq, e.Kind.Subsystem(), e.Kind)
+	if e.Txn != 0 {
+		b = fmt.Appendf(b, " txn=%d", e.Txn)
+	}
+	if e.Seg != 0 || e.Part != 0 {
+		b = fmt.Appendf(b, " part=%d.%d", e.Seg, e.Part)
+	}
+	if e.LSN != 0 {
+		b = fmt.Appendf(b, " lsn=%d", e.LSN)
+	}
+	if e.Arg != 0 {
+		b = fmt.Appendf(b, " arg=%d", e.Arg)
+	}
+	if e.Arg2 != 0 {
+		b = fmt.Appendf(b, " arg2=%d", e.Arg2)
+	}
+	if e.Str != "" {
+		b = fmt.Appendf(b, " %s", e.Str)
+	}
+	return string(b)
+}
+
+// ErrCorrupt reports a malformed event encoding.
+var ErrCorrupt = errors.New("trace: corrupt event encoding")
+
+// Events use the same compact varint style as wal.Record: a frame is
+// uvarint(payload length) followed by the payload — kind(1), then
+// uvarints for TS, Seq, Txn, Seg, Part, LSN, Arg, Arg2, and the label
+// length, followed by the label bytes. A typical event is 12–20 bytes.
+
+// appendFrame appends e's framed encoding to dst.
+func appendFrame(dst []byte, e *Event) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	var payload [10*binary.MaxVarintLen64 + 1]byte
+	p := payload[:0]
+	p = append(p, byte(e.Kind))
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		p = append(p, tmp[:n]...)
+	}
+	put(uint64(e.TS))
+	put(e.Seq)
+	put(e.Txn)
+	put(e.Seg)
+	put(e.Part)
+	put(e.LSN)
+	put(e.Arg)
+	put(e.Arg2)
+	put(uint64(len(e.Str)))
+	n := binary.PutUvarint(tmp[:], uint64(len(p)+len(e.Str)))
+	dst = append(dst, tmp[:n]...)
+	dst = append(dst, p...)
+	return append(dst, e.Str...)
+}
+
+// decodeFrame parses one framed event from the front of buf, returning
+// the event and the bytes consumed. Any inconsistency — short buffer,
+// bad kind, payload length disagreeing with the fields — is ErrCorrupt,
+// which ring recovery treats as the torn tail.
+func decodeFrame(buf []byte) (Event, int, error) {
+	plen, hn := binary.Uvarint(buf)
+	if hn <= 0 || plen == 0 || plen > uint64(len(buf)-hn) {
+		return Event{}, 0, fmt.Errorf("%w: bad frame header", ErrCorrupt)
+	}
+	payload := buf[hn : hn+int(plen)]
+	var e Event
+	e.Kind = Kind(payload[0])
+	if !e.Kind.Valid() {
+		return Event{}, 0, fmt.Errorf("%w: bad kind %d", ErrCorrupt, payload[0])
+	}
+	pos := 1
+	get := func() (uint64, bool) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	fields := [8]*uint64{nil, &e.Seq, &e.Txn, &e.Seg, &e.Part, &e.LSN, &e.Arg, &e.Arg2}
+	ts, ok := get()
+	if !ok {
+		return Event{}, 0, fmt.Errorf("%w: truncated fields", ErrCorrupt)
+	}
+	e.TS = int64(ts)
+	for _, f := range fields[1:] {
+		v, ok := get()
+		if !ok {
+			return Event{}, 0, fmt.Errorf("%w: truncated fields", ErrCorrupt)
+		}
+		*f = v
+	}
+	slen, ok := get()
+	if !ok || slen != uint64(len(payload)-pos) {
+		return Event{}, 0, fmt.Errorf("%w: label length disagrees with payload", ErrCorrupt)
+	}
+	e.Str = string(payload[pos:])
+	return e, hn + int(plen), nil
+}
+
+// Tracer emits events into the volatile ring and, when configured, the
+// stable flight recorder. All methods are nil-receiver safe and safe
+// for concurrent use.
+type Tracer struct {
+	seq    atomic.Uint64
+	sealed atomic.Bool
+
+	mu     sync.Mutex
+	ring   []Event // volatile ring storage (fixed capacity)
+	next   int     // next write position in ring
+	wrap   bool    // ring has wrapped at least once
+	flight *FlightRing
+	enc    []byte // reusable frame-encoding buffer, guarded by mu
+}
+
+// New creates a tracer with a volatile ring of volatileEvents decoded
+// events (0 keeps only the flight recorder) and an optional stable
+// flight ring. If both are absent the tracer is pointless; callers
+// normally return a nil *Tracer instead for the free off state.
+func New(volatileEvents int, flight *FlightRing) *Tracer {
+	t := &Tracer{flight: flight}
+	if volatileEvents > 0 {
+		t.ring = make([]Event, volatileEvents)
+	}
+	return t
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one event, stamping its timestamp and sequence number.
+// Nil-safe: the disabled path is a single branch.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.emit(e, false)
+}
+
+// EmitLast records e and seals the flight recorder in the same critical
+// section, guaranteeing that e is the stable ring's final event — no
+// concurrent Emit can slip in behind it. The fault-injector sink uses
+// it for crash triggers. A second EmitLast on a sealed tracer is
+// dropped from the stable ring (the first crash wins) but still enters
+// the volatile ring.
+func (t *Tracer) EmitLast(e Event) {
+	if t == nil {
+		return
+	}
+	t.emit(e, true)
+}
+
+func (t *Tracer) emit(e Event, seal bool) {
+	e.TS = now()
+	e.Seq = t.seq.Add(1)
+	t.mu.Lock()
+	if len(t.ring) > 0 {
+		t.ring[t.next] = e
+		t.next++
+		if t.next == len(t.ring) {
+			t.next = 0
+			t.wrap = true
+		}
+	}
+	if t.flight != nil && !t.sealed.Load() {
+		t.enc = appendFrame(t.enc[:0], &e)
+		t.flight.Append(t.enc)
+		if seal {
+			t.sealed.Store(true)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Seal stops all further flight-recorder writes without emitting an
+// event. Idempotent.
+func (t *Tracer) Seal() {
+	if t == nil {
+		return
+	}
+	t.sealed.Store(true)
+}
+
+// Sealed reports whether the flight recorder has been sealed.
+func (t *Tracer) Sealed() bool { return t != nil && t.sealed.Load() }
+
+// Events returns the volatile ring's contents in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrap {
+		return append([]Event(nil), t.ring[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// FlightEvents decodes the stable flight ring's current contents
+// (oldest first). Empty when no flight recorder is configured.
+func (t *Tracer) FlightEvents() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flight.Events()
+}

@@ -1,0 +1,305 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mmdb/internal/stablemem"
+)
+
+func testMem() *stablemem.Memory {
+	return stablemem.New(1<<20, 1, nil)
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	events := []Event{
+		{TS: 1, Seq: 1, Kind: KindTxnBegin, Txn: 7},
+		{TS: 12345678, Seq: 2, Kind: KindSLBAppend, Txn: 7, Seg: 3, Part: 9, Arg: 24},
+		{TS: 99, Seq: 3, Kind: KindPageFlush, Seg: 1, Part: 2, LSN: 41, Arg: 13},
+		{TS: 100, Seq: 4, Kind: KindFaultTrigger, Arg: 17, Arg2: 2, Str: "log.write.primary:crash-torn"},
+	}
+	var buf []byte
+	for i := range events {
+		buf = appendFrame(buf, &events[i])
+	}
+	for _, want := range events {
+		got, n, err := decodeFrame(buf)
+		if err != nil {
+			t.Fatalf("decodeFrame: %v", err)
+		}
+		if got != want {
+			t.Fatalf("roundtrip mismatch: got %+v want %+v", got, want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes after decoding all frames", len(buf))
+	}
+}
+
+func TestDecodeRejectsTornAndCorrupt(t *testing.T) {
+	e := Event{TS: 5, Seq: 1, Kind: KindTxnCommit, Txn: 3, Arg: 8, Str: "x"}
+	whole := appendFrame(nil, &e)
+	// Every strict prefix of a frame is a torn write and must error, not
+	// misparse.
+	for cut := 0; cut < len(whole); cut++ {
+		if _, _, err := decodeFrame(whole[:cut]); err == nil {
+			t.Fatalf("decodeFrame accepted a %d/%d-byte torn prefix", cut, len(whole))
+		}
+	}
+	// An undefined kind byte must be rejected.
+	bad := append([]byte(nil), whole...)
+	bad[1] = byte(kindMax)
+	if _, _, err := decodeFrame(bad); err == nil {
+		t.Fatal("decodeFrame accepted an invalid kind")
+	}
+}
+
+func TestFlightRingWrapKeepsNewest(t *testing.T) {
+	mem := testMem()
+	ring, err := NewFlightRing(mem, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 200
+	for i := 1; i <= total; i++ {
+		e := Event{TS: int64(i), Seq: uint64(i), Kind: KindTxnBegin, Txn: uint64(i)}
+		ring.Append(appendFrame(nil, &e))
+	}
+	got := ring.Events()
+	if len(got) == 0 || len(got) >= total {
+		t.Fatalf("ring of 256 bytes holds %d/%d events; want a strict newest window", len(got), total)
+	}
+	// The window must be the contiguous tail ending at the last append.
+	if got[len(got)-1].Seq != total {
+		t.Fatalf("last event Seq = %d, want %d", got[len(got)-1].Seq, total)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("event window not contiguous at %d: %d -> %d", i, got[i-1].Seq, got[i].Seq)
+		}
+	}
+}
+
+func TestFlightRingOversizedFrameDropped(t *testing.T) {
+	mem := testMem()
+	ring, err := NewFlightRing(mem, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Event{Kind: KindFaultTrigger, Str: string(make([]byte, 64))}
+	ring.Append(appendFrame(nil, &e))
+	if got := ring.Dropped(); got != 1 {
+		t.Fatalf("Dropped() = %d, want 1", got)
+	}
+	if got := ring.Events(); len(got) != 0 {
+		t.Fatalf("oversized frame partially written: %d events decoded", len(got))
+	}
+}
+
+func TestFlightRingTornTailTruncated(t *testing.T) {
+	mem := testMem()
+	ring, err := NewFlightRing(mem, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		e := Event{Seq: uint64(i), Kind: KindTxnCommit, Txn: uint64(i)}
+		ring.Append(appendFrame(nil, &e))
+	}
+	// Simulate a crash tearing the fourth frame: append only its first
+	// half, exactly what an interrupted ring copy leaves behind.
+	e := Event{Seq: 4, Kind: KindFaultTrigger, Str: "torn-victim"}
+	frame := appendFrame(nil, &e)
+	half := frame[:len(frame)/2]
+	ring.mu.Lock()
+	w := (ring.h + ring.used) % ring.reg.Size()
+	ring.reg.WriteAt(w, half)
+	ring.used += len(half)
+	ring.mu.Unlock()
+
+	got := ring.Events()
+	if len(got) != 3 {
+		t.Fatalf("decoded %d events, want the 3 whole frames before the torn tail", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+}
+
+func TestEmitLastSealsFlightRing(t *testing.T) {
+	mem := testMem()
+	ring, err := NewFlightRing(mem, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(16, ring)
+	tr.Emit(Event{Kind: KindTxnBegin, Txn: 1})
+	tr.EmitLast(Event{Kind: KindFaultTrigger, Str: "stable.append:crash-before"})
+	tr.Emit(Event{Kind: KindTxnAbort, Txn: 1}) // post-crash noise
+	if !tr.Sealed() {
+		t.Fatal("tracer not sealed after EmitLast")
+	}
+	flight := tr.FlightEvents()
+	if len(flight) != 2 {
+		t.Fatalf("flight ring holds %d events, want 2 (sealed after the trigger)", len(flight))
+	}
+	last := flight[len(flight)-1]
+	if last.Kind != KindFaultTrigger || last.Str != "stable.append:crash-before" {
+		t.Fatalf("final flight event = %+v, want the fault trigger", last)
+	}
+	// The volatile ring still sees everything.
+	if got := tr.Events(); len(got) != 3 {
+		t.Fatalf("volatile ring holds %d events, want 3", len(got))
+	}
+}
+
+func TestVolatileRingWraps(t *testing.T) {
+	tr := New(4, nil)
+	for i := 1; i <= 10; i++ {
+		tr.Emit(Event{Kind: KindTxnBegin, Txn: uint64(i)})
+	}
+	got := tr.Events()
+	if len(got) != 4 {
+		t.Fatalf("volatile ring holds %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := uint64(7 + i); e.Txn != want {
+			t.Fatalf("event %d is txn %d, want %d (newest window in order)", i, e.Txn, want)
+		}
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindTxnBegin})
+	tr.EmitLast(Event{Kind: KindFaultTrigger})
+	tr.Seal()
+	if tr.Enabled() || tr.Sealed() || tr.Events() != nil || tr.FlightEvents() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+}
+
+func TestAttachRecoversCrashTrace(t *testing.T) {
+	mem := testMem()
+	tr, crash, err := Attach(mem, 64, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crash) != 0 {
+		t.Fatalf("fresh memory yielded %d crash events", len(crash))
+	}
+	tr.Emit(Event{Kind: KindTxnBegin, Txn: 42})
+	tr.Emit(Event{Kind: KindTxnCommit, Txn: 42, Arg: 3})
+	tr.EmitLast(Event{Kind: KindFaultTrigger, Str: "crash.forced"})
+
+	// Next generation on the same stable memory: the pre-crash timeline
+	// must come back, ending with the trigger event.
+	tr2, crash, err := Attach(mem, 64, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crash) != 3 {
+		t.Fatalf("recovered %d crash events, want 3", len(crash))
+	}
+	if crash[0].Txn != 42 || crash[0].Kind != KindTxnBegin {
+		t.Fatalf("first crash event = %+v", crash[0])
+	}
+	if last := crash[len(crash)-1]; last.Kind != KindFaultTrigger || last.Str != "crash.forced" {
+		t.Fatalf("crash trace does not end with the trigger: %+v", last)
+	}
+	// The reused ring starts empty for the new generation.
+	if got := tr2.FlightEvents(); len(got) != 0 {
+		t.Fatalf("reused flight ring not reset: %d events", len(got))
+	}
+
+	// Disabling tracing still recovers the trace once, then frees the
+	// ring so a third attach sees nothing.
+	tr2.Emit(Event{Kind: KindTxnBegin, Txn: 1})
+	used := mem.Used()
+	tr3, crash, err := Attach(mem, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr3 != nil {
+		t.Fatal("Attach with both sizes zero returned a live tracer")
+	}
+	if len(crash) != 1 {
+		t.Fatalf("disabled attach recovered %d events, want 1", len(crash))
+	}
+	if mem.Used() >= used {
+		t.Fatalf("flight ring reservation not released: %d -> %d", used, mem.Used())
+	}
+	if _, crash, _ := Attach(mem, 0, 0); len(crash) != 0 {
+		t.Fatalf("freed ring still yielded %d crash events", len(crash))
+	}
+}
+
+func TestWriteChromeProducesValidJSON(t *testing.T) {
+	events := []Event{
+		{TS: 1000, Seq: 1, Kind: KindTxnBegin, Txn: 1},
+		{TS: 2000, Seq: 2, Kind: KindLockBlock, Txn: 2, Arg: 77, Arg2: 2},
+		{TS: 3000, Seq: 3, Kind: KindLockGrant, Txn: 2, Arg: 77, Arg2: 2},
+		{TS: 4000, Seq: 4, Kind: KindCkptBegin, Txn: 3, Seg: 5, Part: 1},
+		{TS: 5000, Seq: 5, Kind: KindTxnCommit, Txn: 1, Arg: 4},
+		{TS: 6000, Seq: 6, Kind: KindFaultTrigger, Str: "ckpt.write:crash-before"},
+		// CkptBegin has no matching end: the crash cut it. It must still
+		// appear (as an instant), not vanish.
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+	var haveTxnSpan, haveLockSpan, haveCkptInstant, haveLane bool
+	for _, ev := range parsed.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			haveLane = true
+		case "X":
+			if ev["cat"] == "txn" {
+				haveTxnSpan = true
+			}
+			if ev["cat"] == "lock" {
+				haveLockSpan = true
+			}
+		case "i":
+			if ev["cat"] == "checkpoint" {
+				haveCkptInstant = true
+			}
+		}
+	}
+	if !haveLane {
+		t.Fatal("no metadata lane events in chrome export")
+	}
+	if !haveTxnSpan {
+		t.Fatal("txn begin/commit pair did not become a span")
+	}
+	if !haveLockSpan {
+		t.Fatal("lock block/grant pair did not become a span")
+	}
+	if !haveCkptInstant {
+		t.Fatal("unmatched ckpt-begin did not surface as an instant")
+	}
+}
+
+func TestEventStringMentionsFields(t *testing.T) {
+	e := Event{TS: 1500000, Seq: 9, Kind: KindSLBAppend, Txn: 4, Seg: 2, Part: 7, Arg: 24}
+	s := e.String()
+	for _, want := range []string{"slb", "slb-append", "txn=4", "part=2.7", "arg=24"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"mmdb/internal/lock"
 	"mmdb/internal/metrics"
 	"mmdb/internal/mm"
+	"mmdb/internal/trace"
 	"mmdb/internal/wal"
 )
 
@@ -64,6 +65,10 @@ type Manager struct {
 	// directly.
 	CommitLatency *metrics.Histogram
 
+	// Tracer, if set (before the manager is shared), records
+	// begin/commit/abort events for every transaction. Nil-safe.
+	Tracer *trace.Tracer
+
 	mu    sync.Mutex
 	owned map[addr.PartitionID]uint64 // uncommitted new partitions
 }
@@ -88,6 +93,7 @@ func (m *Manager) Locks() *lock.Manager { return m.locks }
 func (m *Manager) Begin() *Txn {
 	id := m.NextID()
 	m.sink.BeginTxn(id)
+	m.Tracer.Emit(trace.Event{Kind: trace.KindTxnBegin, Txn: id})
 	return &Txn{m: m, id: id, start: time.Now(), pendingDel: make(map[addr.EntityAddr]bool)}
 }
 
@@ -458,6 +464,7 @@ func (t *Txn) Commit() error {
 	t.done = true
 	t.m.locks.ReleaseAll(t.id)
 	t.m.CommitLatency.ObserveSince(t.start)
+	t.m.Tracer.Emit(trace.Event{Kind: trace.KindTxnCommit, Txn: t.id, Arg: uint64(t.nRecords)})
 	return nil
 }
 
@@ -477,6 +484,7 @@ func (t *Txn) Abort() error {
 	t.m.sink.AbortTxn(t.id)
 	t.done = true
 	t.m.locks.ReleaseAll(t.id)
+	t.m.Tracer.Emit(trace.Event{Kind: trace.KindTxnAbort, Txn: t.id, Arg: uint64(t.nRecords)})
 	return firstErr
 }
 

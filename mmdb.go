@@ -25,6 +25,7 @@ package mmdb
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 
 	"mmdb/internal/addr"
@@ -35,6 +36,7 @@ import (
 	"mmdb/internal/metrics"
 	"mmdb/internal/mm"
 	"mmdb/internal/simdisk"
+	"mmdb/internal/trace"
 	"mmdb/internal/txn"
 )
 
@@ -55,6 +57,11 @@ type Stats = core.Stats
 // latency histograms with p50/p95/p99. It is plain data — safe to
 // retain, compare, and marshal to JSON.
 type MetricsSnapshot = metrics.Snapshot
+
+// TraceEvent is one structured trace event; see docs/TRACING.md for the
+// event catalog. Enabled via Config.TraceBufferEvents (volatile ring)
+// and Config.FlightRecorderBytes (crash-surviving stable ring).
+type TraceEvent = trace.Event
 
 // Hardware is the crash-surviving hardware bundle.
 type Hardware = core.Hardware
@@ -372,6 +379,9 @@ func (db *DB) Crash() *Hardware {
 	db.mu.Lock()
 	db.closed = true
 	db.mu.Unlock()
+	// Seal the flight recorder before halting so a forced crash leaves
+	// the same trigger-event-last shape as an injected one.
+	db.mgr.SealTrace("crash.forced")
 	// Halt the simulated machine first: with a fault injector attached,
 	// every in-flight device operation fails from this instant, so the
 	// failure is sharp even while goroutines are still winding down.
@@ -492,6 +502,35 @@ func (db *DB) Stats() Stats { return db.mgr.Stats() }
 // and the associated event counters. See docs/METRICS.md for the full
 // metric list and the paper claims each one validates.
 func (db *DB) Metrics() MetricsSnapshot { return db.mgr.MetricsSnapshot() }
+
+// ResetMetrics zeroes every counter, gauge, and histogram in the
+// database's metrics registry, so a measurement window can be aligned
+// with a benchmark phase or a trace capture.
+func (db *DB) ResetMetrics() { db.mgr.Metrics().Registry().Reset() }
+
+// TraceEvents returns the volatile trace ring's contents in emission
+// order. Empty when Config.TraceBufferEvents is zero.
+func (db *DB) TraceEvents() []TraceEvent { return db.mgr.TraceEvents() }
+
+// CrashTrace returns the previous generation's flight-recorder
+// timeline, recovered from stable memory during Recover: the exact
+// event sequence leading up to the crash, ending with the fault-trigger
+// event that caused it. Empty for a fresh database or when the crashed
+// generation ran without a flight recorder.
+func (db *DB) CrashTrace() []TraceEvent { return db.mgr.CrashTrace() }
+
+// ExportChromeTrace writes the volatile trace ring as Chrome
+// trace_event JSON, loadable in chrome://tracing or Perfetto: one lane
+// per subsystem, with spans built from begin/end event pairs.
+func (db *DB) ExportChromeTrace(w io.Writer) error {
+	return trace.WriteChrome(w, db.mgr.TraceEvents())
+}
+
+// ExportCrashChromeTrace writes the recovered pre-crash flight-recorder
+// timeline as Chrome trace_event JSON.
+func (db *DB) ExportCrashChromeTrace(w io.Writer) error {
+	return trace.WriteChrome(w, db.mgr.CrashTrace())
+}
 
 // Manager exposes the recovery component (benchmarks, tools).
 func (db *DB) Manager() *core.Manager { return db.mgr }
