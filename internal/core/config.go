@@ -53,6 +53,14 @@ type Config struct {
 	// BackgroundRecovery starts the low-priority sweep that restores
 	// not-yet-demanded partitions after a crash (§2.5).
 	BackgroundRecovery bool
+	// RecoveryWorkers is the number of goroutines the background sweep
+	// fans partition recovery out across, making restart wall-clock
+	// scale with cores instead of database size (§3.4's independence
+	// claim, measured by `paperbench restart`). 0 or negative means
+	// GOMAXPROCS. Workers coalesce with concurrent on-demand recovery
+	// through the store's resolve path, so a partition is never
+	// recovered twice.
+	RecoveryWorkers int
 	// ChangeAccumulation enables §1.2's stable-buffer post-processing:
 	// the recovery CPU coalesces each committed transaction's records
 	// before binning them, shrinking the log at the cost of some
@@ -112,6 +120,7 @@ type Stats struct {
 	WindowOverruns     int64 // pages kept past the window for safety
 	PartsRecovered     int64 // partitions restored post-crash
 	RecoveryLogPages   int64 // log pages read during recovery
+	SweepErrors        int64 // failed recovery attempts during the sweep
 	TxnsCommitted      int64
 	TxnsAborted        int64
 }

@@ -223,6 +223,7 @@ func (m *Manager) Stats() Stats {
 		WindowOverruns:     mt.WindowOverruns.Value(),
 		PartsRecovered:     mt.PartsRecovered.Value(),
 		RecoveryLogPages:   mt.RecoveryLogPages.Value(),
+		SweepErrors:        mt.RecoverySweepErrors.Value(),
 		TxnsCommitted:      mt.TxnsCommitted.Value(),
 		TxnsAborted:        mt.TxnsAborted.Value(),
 	}

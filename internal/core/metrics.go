@@ -54,11 +54,14 @@ type Metrics struct {
 	// restart — the foreground/background split of §2.5: root scan
 	// (catalog restore) happens before the first transaction; partition
 	// recovery is on demand; the background sweep covers the rest.
-	RestartRootScan   *metrics.Histogram
-	PartitionRecovery *metrics.Histogram
-	BackgroundSweep   *metrics.Histogram
-	PartsRecovered    *metrics.Counter
-	RecoveryLogPages  *metrics.Counter
+	RestartRootScan     *metrics.Histogram
+	PartitionRecovery   *metrics.Histogram
+	BackgroundSweep     *metrics.Histogram
+	SweepWorkerTime     *metrics.Histogram
+	PartsRecovered      *metrics.Counter
+	RecoveryLogPages    *metrics.Counter
+	RecoverySweepErrors *metrics.Counter
+	SweepPartsPerSec    *metrics.Gauge
 
 	// lock — contention on the 2PL substrate.
 	LockWait  *metrics.Histogram
@@ -120,8 +123,12 @@ func newMetrics() *Metrics {
 			"per-partition recovery transaction time: image read + log replay (§2.5)"),
 		BackgroundSweep: restart.Histogram("background_sweep", "ns",
 			"total background-recovery sweep time (§2.5 method 2)"),
-		PartsRecovered:   restart.Counter("partitions_recovered", "parts", "partitions restored post-crash"),
-		RecoveryLogPages: restart.Counter("log_pages_read", "pages", "log pages read during recovery"),
+		SweepWorkerTime: restart.Histogram("sweep_worker", "ns",
+			"per-worker wall-clock of the parallel background sweep (one observation per worker)"),
+		PartsRecovered:      restart.Counter("partitions_recovered", "parts", "partitions restored post-crash"),
+		RecoveryLogPages:    restart.Counter("log_pages_read", "pages", "log pages read during recovery"),
+		RecoverySweepErrors: restart.Counter("sweep_errors", "errors", "failed recovery attempts during the background sweep (enumeration + per-partition)"),
+		SweepPartsPerSec:    restart.Gauge("sweep_parts_per_sec", "parts/s", "background-sweep recovery throughput of the last completed sweep"),
 
 		LockWait: lockS.Histogram("wait", "ns",
 			"time transactions spend blocked on 2PL lock queues"),

@@ -1,11 +1,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mmdb/internal/addr"
 	"mmdb/internal/catalog"
+	"mmdb/internal/fault"
 	"mmdb/internal/mm"
 	"mmdb/internal/simdisk"
 	"mmdb/internal/trace"
@@ -38,6 +44,11 @@ func (m *Manager) Restart() (*catalog.Root, error) {
 	// and checkpoint locations come from the well-known root.
 	m.store.EnsureSegment(addr.SegRelationCatalog)
 	m.store.EnsureSegment(addr.SegIndexCatalog)
+	// Each recovery loop also rebuilds the checkpoint-disk allocation
+	// map's root-known part as it goes (the facade marks
+	// catalog-derived tracks after decoding): marking a track the
+	// moment its partition is restored means a future early return
+	// cannot leave the map missing live catalog tracks.
 	for _, ps := range root.RelCatParts {
 		pid := addr.PartitionID{Segment: addr.SegRelationCatalog, Part: ps.Part}
 		p, err := m.RecoverPartition(pid, ps.Track)
@@ -45,6 +56,7 @@ func (m *Manager) Restart() (*catalog.Root, error) {
 			return nil, fmt.Errorf("core: restoring relation catalog %v: %w", pid, err)
 		}
 		m.store.Install(p)
+		m.dmap.markUsed(ps.Track)
 	}
 	for _, ps := range root.IdxCatParts {
 		pid := addr.PartitionID{Segment: addr.SegIndexCatalog, Part: ps.Part}
@@ -53,13 +65,6 @@ func (m *Manager) Restart() (*catalog.Root, error) {
 			return nil, fmt.Errorf("core: restoring index catalog %v: %w", pid, err)
 		}
 		m.store.Install(p)
-	}
-	// Rebuild the checkpoint-disk allocation map's root-known part;
-	// the facade marks catalog-derived tracks after decoding.
-	for _, ps := range root.RelCatParts {
-		m.dmap.markUsed(ps.Track)
-	}
-	for _, ps := range root.IdxCatParts {
 		m.dmap.markUsed(ps.Track)
 	}
 	return root, nil
@@ -180,33 +185,113 @@ func (m *Manager) Resume() {
 // partitions that have not yet been recovered").
 func (m *Manager) backgroundSweep() {
 	defer m.wg.Done()
+	m.runSweep()
+}
+
+// Sweep runs one background-sweep pass synchronously on the calling
+// goroutine: benchmarks (`paperbench restart`) and tests use it to
+// time the sweep exactly, without Resume's goroutine hand-off.
+func (m *Manager) Sweep() { m.runSweep() }
+
+// runSweep fans partition recovery out across cfg.RecoveryWorkers
+// goroutines (default GOMAXPROCS), worker w taking partitions w,
+// w+W, w+2W, … — deterministic round-robin shards, so the split does
+// not depend on host scheduling. Every worker demands partitions
+// through the store's resolve path, so a sweep worker and a concurrent
+// foreground transaction — or two workers handed overlapping demand —
+// coalesce into a single recovery transaction per partition and never
+// install racing copies. Closing m.stop interrupts every worker before
+// its next partition; in-flight recoveries finish whole.
+func (m *Manager) runSweep() {
 	if m.cb.AllPartitions == nil {
 		return
 	}
 	sweepStart := time.Now()
-	defer m.metrics.BackgroundSweep.ObserveSince(sweepStart)
 	m.tracer.Emit(trace.Event{Kind: trace.KindSweepBegin})
-	visited := 0
+	var restored, failed atomic.Int64
 	defer func() {
-		m.tracer.Emit(trace.Event{Kind: trace.KindSweepEnd, Arg: uint64(visited)})
+		m.metrics.BackgroundSweep.ObserveSince(sweepStart)
+		if secs := time.Since(sweepStart).Seconds(); secs > 0 {
+			m.metrics.SweepPartsPerSec.Set(int64(float64(restored.Load()) / secs))
+		}
+		m.tracer.Emit(trace.Event{
+			Kind: trace.KindSweepEnd,
+			Arg:  uint64(restored.Load()), Arg2: uint64(failed.Load()),
+		})
 	}()
 	pids, err := m.cb.AllPartitions()
 	if err != nil {
+		// A sweep that cannot enumerate the catalogs must not end
+		// looking "complete": count it, mark the timeline, and log it.
+		m.metrics.RecoverySweepErrors.Add(1)
+		m.tracer.Emit(trace.Event{Kind: trace.KindSweepError, Str: err.Error()})
+		log.Printf("mmdb/core: background sweep: enumerating partitions: %v", err)
 		return
 	}
-	for _, pid := range pids {
-		select {
-		case <-m.stop:
-			return
-		default:
+	workers := m.cfg.RecoveryWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pids) {
+		workers = len(pids)
+	}
+	if workers < 1 {
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			workerStart := time.Now()
+			m.tracer.Emit(trace.Event{Kind: trace.KindSweepWorkerBegin, Arg: uint64(worker)})
+			var n uint64
+			defer func() {
+				m.metrics.SweepWorkerTime.ObserveSince(workerStart)
+				m.tracer.Emit(trace.Event{
+					Kind: trace.KindSweepWorkerEnd,
+					Arg:  uint64(worker), Arg2: n,
+				})
+			}()
+			for i := worker; i < len(pids); i += workers {
+				select {
+				case <-m.stop:
+					return
+				default:
+				}
+				pid := pids[i]
+				if m.store.Resident(pid) {
+					continue
+				}
+				if m.sweepRecover(pid) {
+					n++
+					restored.Add(1)
+				} else {
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// sweepRecover demands one partition through the store (coalescing with
+// foreground recovery), retrying a transient injected I/O error once
+// before giving up. Every failed attempt counts in RecoverySweepErrors;
+// it reports whether the partition ended up resident.
+func (m *Manager) sweepRecover(pid addr.PartitionID) bool {
+	for attempt := 0; ; attempt++ {
+		_, err := m.store.Partition(pid)
+		if err == nil {
+			return true
 		}
-		if m.store.Resident(pid) {
-			continue
+		m.metrics.RecoverySweepErrors.Add(1)
+		m.tracer.Emit(pidEvent(trace.Event{Kind: trace.KindSweepError, Str: err.Error()}, pid))
+		if attempt == 0 && errors.Is(err, fault.ErrInjected) {
+			continue // transient ioerr: one retry
 		}
-		// Demand through the store so concurrent foreground demand
-		// coalesces into a single recovery transaction.
-		_, _ = m.store.Partition(pid)
-		visited++
+		log.Printf("mmdb/core: background sweep: recovering %v: %v", pid, err)
+		return false
 	}
 }
 

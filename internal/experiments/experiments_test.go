@@ -231,3 +231,29 @@ func TestPredeclareVsDemand(t *testing.T) {
 		t.Fatalf("on-demand total %dus > predeclare total %dus", res.DemandTotalUS, res.PredeclareTotalUS)
 	}
 }
+
+func TestSweepScalingMonotonic(t *testing.T) {
+	pts, err := SweepScaling([]int{32}, []int{1, 2, 4}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	// More recovery workers must strictly shorten the sweep's critical
+	// path (the acceptance criterion of `paperbench restart`).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].SweepMS >= pts[i-1].SweepMS {
+			t.Fatalf("sweep time not improving: %d workers %.2fms -> %d workers %.2fms",
+				pts[i-1].Workers, pts[i-1].SweepMS, pts[i].Workers, pts[i].SweepMS)
+		}
+	}
+	for _, p := range pts {
+		if p.Errors != 0 {
+			t.Fatalf("sweep errors at %d workers: %d", p.Workers, p.Errors)
+		}
+		if p.PartsPerSec <= 0 {
+			t.Fatalf("bad throughput at %d workers: %+v", p.Workers, p)
+		}
+	}
+}

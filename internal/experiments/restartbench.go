@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/core"
+	"mmdb/internal/lock"
+	"mmdb/internal/mm"
+	"mmdb/internal/simdisk"
+	"mmdb/internal/trace"
+	"mmdb/internal/txn"
+	"mmdb/internal/wal"
+)
+
+// SweepScalingPoint is one (database size, worker count) sample of the
+// `paperbench restart` benchmark.
+type SweepScalingPoint struct {
+	Partitions int
+	Workers    int
+	// SweepMS is the simulated sweep wall-clock: the total charged
+	// disk + recovery-CPU cost of the sweep, scaled by the critical
+	// path — the share of partitions the most-loaded worker actually
+	// recovered (from the sweep-worker trace events). With one worker
+	// this is the whole cost; with W balanced workers it approaches
+	// cost/W.
+	SweepMS float64
+	// PartsPerSec is the simulated sweep throughput.
+	PartsPerSec float64
+	// HostMS is the host wall-clock of the sweep, for reference; on a
+	// multi-core host it shows the same scaling, on a single core it
+	// does not.
+	HostMS float64
+	// Errors is the sweep's failed-recovery counter (must be zero).
+	Errors int64
+}
+
+// SweepScaling measures experiment R3: how the §2.5 background sweep's
+// completion time scales with the recovery worker count, across
+// database sizes. The stable state for each size is built once —
+// checkpointed partitions plus post-checkpoint log records — and then
+// crashed and swept repeatedly, once per worker count, through the real
+// Manager.Sweep worker pool.
+func SweepScaling(sizes, workerCounts []int, recsPerPart int) ([]SweepScalingPoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int{32, 64, 128}
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	if recsPerPart == 0 {
+		recsPerPart = 600
+	}
+	var out []SweepScalingPoint
+	for _, nParts := range sizes {
+		pts, err := sweepScalingOne(nParts, workerCounts, recsPerPart)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+func sweepScalingOne(nParts int, workerCounts []int, recsPerPart int) ([]SweepScalingPoint, error) {
+	cfg := core.DefaultConfig()
+	cfg.PartitionSize = 16 << 10
+	cfg.LogPageSize = 2 << 10
+	cfg.UpdateThreshold = 1 << 30 // checkpoints run only on request
+	cfg.LogWindowPages = 1 << 20  // keep every log page on disk
+	cfg.StableBytes = 256 << 20
+	cfg.BackgroundRecovery = false // the benchmark calls Sweep itself
+	cfg.TraceBufferEvents = 4 * nParts
+
+	hw := core.NewHardware(cfg)
+	tracks := map[addr.PartitionID]simdisk.TrackLoc{}
+	pids := make([]addr.PartitionID, nParts)
+	for i := range pids {
+		pids[i] = addr.PartitionID{Segment: 2, Part: addr.PartitionNum(i)}
+	}
+	attach := func() (*core.Manager, *mm.Store, error) {
+		store := mm.NewStore(cfg.PartitionSize)
+		m, err := core.New(hw, cfg, store, lock.NewManager())
+		if err != nil {
+			return nil, nil, err
+		}
+		m.SetCallbacks(core.Callbacks{
+			OwnerRel: func(pid addr.PartitionID) (uint64, bool) { return 1, true },
+			InstallCkpt: func(t *txn.Txn, pid addr.PartitionID, track simdisk.TrackLoc) (simdisk.TrackLoc, error) {
+				old, ok := tracks[pid]
+				if !ok {
+					old = simdisk.NilTrack
+				}
+				tracks[pid] = track
+				return old, nil
+			},
+			Locate: func(pid addr.PartitionID) (simdisk.TrackLoc, error) {
+				if tr, ok := tracks[pid]; ok {
+					return tr, nil
+				}
+				return simdisk.NilTrack, nil
+			},
+			AllPartitions: func() ([]addr.PartitionID, error) { return pids, nil },
+		})
+		for _, tr := range tracks {
+			m.MarkTrackUsed(tr)
+		}
+		return m, store, nil
+	}
+
+	// Build the stable state once: inserts, a checkpoint of every
+	// partition, then post-checkpoint updates so sweep recovery reads
+	// both the image and log pages.
+	m, store, err := attach()
+	if err != nil {
+		return nil, err
+	}
+	h := &harness{hw: hw, m: m, store: store}
+	h.ensureParts(2, nParts)
+	h.m.Start()
+	rng := rand.New(rand.NewSource(7))
+	txnID := uint64(1)
+	inject := func(tag wal.Tag, n int) error {
+		for part := 0; part < nParts; part++ {
+			pid := pids[part]
+			recs := make([]wal.Record, 0, n)
+			for i := 0; i < n; i++ {
+				data := make([]byte, 64)
+				rng.Read(data)
+				recs = append(recs, wal.Record{Tag: tag, PID: pid, Slot: addr.Slot(i), Data: data})
+			}
+			if err := h.m.InjectCommitted(txnID, recs); err != nil {
+				return err
+			}
+			txnID++
+		}
+		return nil
+	}
+	if err := inject(wal.TagRelInsert, recsPerPart); err != nil {
+		return nil, err
+	}
+	h.m.WaitIdle()
+	for _, pid := range pids {
+		h.m.RequestCheckpoint(pid)
+	}
+	h.m.WaitIdle()
+	if err := inject(wal.TagRelUpdate, recsPerPart/4); err != nil {
+		return nil, err
+	}
+	h.m.WaitIdle()
+	h.m.Stop() // crash
+
+	// Sweep the same stable state once per worker count.
+	var out []SweepScalingPoint
+	for _, w := range workerCounts {
+		cfg.RecoveryWorkers = w
+		m2, store2, err := attach()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m2.Restart(); err != nil {
+			return nil, err
+		}
+		m2.Resume()
+		before := hw.Meter.Snapshot()
+		hostStart := time.Now()
+		m2.Sweep()
+		hostMS := float64(time.Since(hostStart).Microseconds()) / 1e3
+		d := hw.Meter.Snapshot().Sub(before)
+		for _, pid := range pids {
+			if !store2.Resident(pid) {
+				return nil, fmt.Errorf("experiments: %d-worker sweep left %v unrecovered", w, pid)
+			}
+		}
+		// Critical path: the most-loaded worker's share of the total
+		// charged cost, from the per-worker trace events.
+		var maxParts, total uint64
+		for _, e := range m2.TraceEvents() {
+			if e.Kind == trace.KindSweepWorkerEnd {
+				total += e.Arg2
+				if e.Arg2 > maxParts {
+					maxParts = e.Arg2
+				}
+			}
+		}
+		if total != uint64(nParts) {
+			return nil, fmt.Errorf("experiments: sweep workers recovered %d of %d partitions", total, nParts)
+		}
+		totalUS := float64(d.CkptDiskMicros+d.LogDiskMicros) + d.RecoveryCPUSeconds(cfg.Cost.PRecovery)*1e6
+		simUS := totalUS * float64(maxParts) / float64(total)
+		pt := SweepScalingPoint{
+			Partitions: nParts,
+			Workers:    w,
+			SweepMS:    simUS / 1e3,
+			HostMS:     hostMS,
+			Errors:     m2.Stats().SweepErrors,
+		}
+		if simUS > 0 {
+			pt.PartsPerSec = float64(nParts) / (simUS / 1e6)
+		}
+		out = append(out, pt)
+		m2.Stop()
+	}
+	return out, nil
+}

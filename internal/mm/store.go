@@ -25,11 +25,26 @@ type ResolveFunc func(id addr.PartitionID) (*Partition, error)
 type Store struct {
 	partSize int
 
-	mu       sync.RWMutex
-	segs     map[addr.SegmentID]*segment
-	nextSeg  addr.SegmentID
-	resolve  ResolveFunc
-	resolveM sync.Mutex // serialises recovery of distinct partitions
+	mu      sync.RWMutex
+	segs    map[addr.SegmentID]*segment
+	nextSeg addr.SegmentID
+	resolve ResolveFunc
+
+	// resolveMu guards inflight, the per-partition recovery coalescing
+	// map: distinct partitions recover concurrently (the parallel
+	// background sweep depends on it), while all demanders of one
+	// partition — foreground transactions and sweep workers alike —
+	// share a single recovery transaction (§2.5).
+	resolveMu sync.Mutex
+	inflight  map[addr.PartitionID]*inflightRecovery
+}
+
+// inflightRecovery is one in-progress recovery transaction; done closes
+// after p/err are set and the partition (on success) is installed.
+type inflightRecovery struct {
+	done chan struct{}
+	p    *Partition
+	err  error
 }
 
 type segment struct {
@@ -44,6 +59,7 @@ func NewStore(partSize int) *Store {
 		partSize: partSize,
 		segs:     make(map[addr.SegmentID]*segment),
 		nextSeg:  addr.FirstUserSegment,
+		inflight: make(map[addr.PartitionID]*inflightRecovery),
 	}
 }
 
@@ -165,7 +181,9 @@ func (st *Store) Resident(id addr.PartitionID) bool {
 }
 
 // Partition returns the partition, triggering on-demand recovery through
-// the resolve hook if it is not resident.
+// the resolve hook if it is not resident. Concurrent demanders of the
+// same partition coalesce into one recovery transaction (§2.5); distinct
+// partitions recover in parallel.
 func (st *Store) Partition(id addr.PartitionID) (*Partition, error) {
 	st.mu.RLock()
 	s, ok := st.segs[id.Segment]
@@ -181,19 +199,56 @@ func (st *Store) Partition(id addr.PartitionID) (*Partition, error) {
 	if resolve == nil {
 		return nil, fmt.Errorf("%w: %v", ErrNotResident, id)
 	}
-	// Serialise recoveries so two transactions demanding the same
-	// partition produce one recovery transaction (§2.5).
-	st.resolveM.Lock()
-	defer st.resolveM.Unlock()
-	if st.Resident(id) {
-		return st.Partition(id)
+	st.resolveMu.Lock()
+	// Re-check residency under resolveMu: a recovery that completed
+	// between the fast-path miss and here must not run again (two
+	// installed copies would race, and the second would silently drop
+	// updates applied to the first).
+	if rp := st.residentPart(id); rp != nil {
+		st.resolveMu.Unlock()
+		return rp, nil
 	}
-	rp, err := resolve(id)
-	if err != nil {
-		return nil, err
+	if f, ok := st.inflight[id]; ok {
+		// Someone else is already recovering this partition: wait for
+		// that single recovery transaction's outcome.
+		st.resolveMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		return f.p, nil
 	}
-	st.Install(rp)
-	return rp, nil
+	f := &inflightRecovery{done: make(chan struct{})}
+	st.inflight[id] = f
+	st.resolveMu.Unlock()
+
+	f.p, f.err = resolve(id)
+	if f.err == nil {
+		st.Install(f.p)
+	}
+	// Install before removing the inflight entry, so every future
+	// demander hits either the resident fast path or this entry — never
+	// a gap that would start a second recovery of an installed
+	// partition. Failed recoveries clear the entry so a later demand
+	// can retry.
+	st.resolveMu.Lock()
+	delete(st.inflight, id)
+	st.resolveMu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.p, nil
+}
+
+// residentPart returns the resident partition or nil.
+func (st *Store) residentPart(id addr.PartitionID) *Partition {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if s, ok := st.segs[id.Segment]; ok {
+		return s.parts[id.Part]
+	}
+	return nil
 }
 
 // Partitions returns the resident partitions of a segment in partition

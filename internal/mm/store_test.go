@@ -176,3 +176,98 @@ func TestEvict(t *testing.T) {
 		t.Fatal("evicted partition still resident")
 	}
 }
+
+// Distinct partitions must recover concurrently: the parallel
+// background sweep's speedup rests on per-partition (not global)
+// recovery serialisation.
+func TestStoreResolveDistinctPartitionsRunConcurrently(t *testing.T) {
+	st := NewStore(1024)
+	seg := st.CreateSegment()
+	const parts = 4
+	var active, peak atomic.Int32
+	barrier := make(chan struct{})
+	st.SetResolve(func(got addr.PartitionID) (*Partition, error) {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		if n == parts {
+			close(barrier) // all resolvers in flight at once
+		}
+		<-barrier
+		active.Add(-1)
+		return NewPartition(got, 1024), nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < parts; i++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			if _, err := st.Partition(addr.PartitionID{Segment: seg, Part: addr.PartitionNum(part)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if peak.Load() != parts {
+		t.Fatalf("peak concurrent recoveries = %d, want %d", peak.Load(), parts)
+	}
+}
+
+// A failed recovery must propagate its error to every coalesced waiter
+// and clear the in-flight entry so a later demand can retry and
+// succeed.
+func TestStoreResolveErrorPropagatesAndRetries(t *testing.T) {
+	st := NewStore(1024)
+	seg := st.CreateSegment()
+	id := addr.PartitionID{Segment: seg, Part: 0}
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	var failing atomic.Bool
+	failing.Store(true)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	st.SetResolve(func(got addr.PartitionID) (*Partition, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+		}
+		if failing.Load() {
+			<-release
+			return nil, boom
+		}
+		return NewPartition(got, 1024), nil
+	})
+	errs := make(chan error, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := st.Partition(id)
+			errs <- err
+		}()
+		if i == 0 {
+			<-started // the rest pile onto the first, failing, recovery
+		}
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("coalesced waiter got %v, want boom", err)
+		}
+	}
+	// The failed recovery must have cleared its in-flight entry so a
+	// later demand retries from scratch.
+	failing.Store(false)
+	if _, err := st.Partition(id); err != nil {
+		t.Fatalf("retry after failed recovery: %v", err)
+	}
+	if !st.Resident(id) {
+		t.Fatal("retried partition not resident")
+	}
+}

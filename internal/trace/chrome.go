@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 )
@@ -34,21 +35,25 @@ var laneOrder = []string{"txn", "lock", "slb", "log", "checkpoint", "restart", "
 
 // spanStart describes which kinds open a span and which close it.
 var spanEnd = map[Kind][]Kind{
-	KindTxnBegin:      {KindTxnCommit, KindTxnAbort},
-	KindLockBlock:     {KindLockGrant},
-	KindCkptBegin:     {KindCkptEnd, KindCkptFail},
-	KindRootScanBegin: {KindRootScanEnd},
-	KindSweepBegin:    {KindSweepEnd},
+	KindTxnBegin:         {KindTxnCommit, KindTxnAbort},
+	KindLockBlock:        {KindLockGrant},
+	KindCkptBegin:        {KindCkptEnd, KindCkptFail},
+	KindRootScanBegin:    {KindRootScanEnd},
+	KindSweepBegin:       {KindSweepEnd},
+	KindSweepWorkerBegin: {KindSweepWorkerEnd},
 }
 
 // spanKey pairs a begin event with its end: transactions and lock waits
-// by transaction ID, checkpoints by partition, restart phases globally.
+// by transaction ID, checkpoints by partition, sweep workers by worker
+// index, restart phases globally.
 func spanKey(e Event) uint64 {
 	switch e.Kind {
 	case KindTxnBegin, KindTxnCommit, KindTxnAbort, KindLockBlock, KindLockGrant:
 		return e.Txn
 	case KindCkptBegin, KindCkptEnd, KindCkptFail:
 		return e.Seg<<32 | e.Part
+	case KindSweepWorkerBegin, KindSweepWorkerEnd:
+		return e.Arg
 	}
 	return 0
 }
@@ -71,6 +76,8 @@ func spanName(begin, end Event) string {
 		return "root-scan"
 	case KindSweepBegin:
 		return "background-sweep"
+	case KindSweepWorkerBegin:
+		return fmt.Sprintf("sweep-worker-%d", begin.Arg)
 	}
 	return begin.Kind.String()
 }
@@ -115,6 +122,25 @@ func WriteChrome(w io.Writer, events []Event) error {
 			Args: map[string]any{"name": name},
 		})
 	}
+	// laneFor assigns lanes, materialising one extra lane per sweep
+	// worker so the parallel-recovery fan-out is visible as concurrent
+	// rows instead of stacked spans on the restart lane.
+	laneFor := func(e Event) int {
+		name := e.Kind.Subsystem()
+		if e.Kind == KindSweepWorkerBegin || e.Kind == KindSweepWorkerEnd {
+			name = fmt.Sprintf("sweep-w%d", e.Arg)
+		}
+		id, ok := lane[name]
+		if !ok {
+			id = len(lane) + 1
+			lane[name] = id
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: id,
+				Args: map[string]any{"name": name},
+			})
+		}
+		return id
+	}
 
 	usec := func(ns int64) float64 { return float64(ns) / 1e3 }
 
@@ -153,7 +179,7 @@ func WriteChrome(w io.Writer, events []Event) error {
 					TS:   usec(b.TS),
 					Dur:  usec(e.TS - b.TS),
 					PID:  1,
-					TID:  lane[b.Kind.Subsystem()],
+					TID:  laneFor(b),
 					Args: eventArgs(e),
 				})
 			}
@@ -172,7 +198,7 @@ func WriteChrome(w io.Writer, events []Event) error {
 			Ph:   "i",
 			TS:   usec(e.TS),
 			PID:  1,
-			TID:  lane[e.Kind.Subsystem()],
+			TID:  laneFor(e),
 			Args: eventArgs(e),
 			Sc:   "t",
 		})

@@ -78,12 +78,22 @@ const (
 	// the first transaction; PartRedo is one per-partition recovery
 	// transaction (Arg = records replayed, Arg2 = log pages read); the
 	// background sweep restores not-yet-demanded partitions (SweepEnd's
-	// Arg = partitions visited).
+	// Arg = partitions restored, Arg2 = partitions given up on).
 	KindRootScanBegin
 	KindRootScanEnd
 	KindPartRedo
 	KindSweepBegin
 	KindSweepEnd
+
+	// Parallel-sweep fan-out: one worker goroutine's begin/end pair
+	// (Arg = worker index; SweepWorkerEnd's Arg2 = partitions this
+	// worker restored). Chrome exports give each worker its own lane.
+	KindSweepWorkerBegin
+	KindSweepWorkerEnd
+	// A sweep-level failure: partition enumeration failed or one
+	// partition's recovery gave up (Str = error, Seg/Part set for
+	// per-partition failures).
+	KindSweepError
 
 	// A fault-injector rule fired (or DB.Crash forced a halt). Str is
 	// "point:act", Arg the hit index. For crash acts this is, by
@@ -110,9 +120,12 @@ var kindNames = [...]string{
 	KindRootScanBegin: "root-scan-begin",
 	KindRootScanEnd:   "root-scan-end",
 	KindPartRedo:      "part-redo",
-	KindSweepBegin:    "sweep-begin",
-	KindSweepEnd:      "sweep-end",
-	KindFaultTrigger:  "fault-trigger",
+	KindSweepBegin:       "sweep-begin",
+	KindSweepEnd:         "sweep-end",
+	KindSweepWorkerBegin: "sweep-worker-begin",
+	KindSweepWorkerEnd:   "sweep-worker-end",
+	KindSweepError:       "sweep-error",
+	KindFaultTrigger:     "fault-trigger",
 }
 
 func (k Kind) String() string {
@@ -139,7 +152,8 @@ func (k Kind) Subsystem() string {
 		return "log"
 	case KindCkptBegin, KindCkptTrack, KindCkptEnd, KindCkptFail:
 		return "checkpoint"
-	case KindRootScanBegin, KindRootScanEnd, KindPartRedo, KindSweepBegin, KindSweepEnd:
+	case KindRootScanBegin, KindRootScanEnd, KindPartRedo, KindSweepBegin, KindSweepEnd,
+		KindSweepWorkerBegin, KindSweepWorkerEnd, KindSweepError:
 		return "restart"
 	case KindFaultTrigger:
 		return "fault"

@@ -303,3 +303,58 @@ func TestEventStringMentionsFields(t *testing.T) {
 		}
 	}
 }
+
+func TestWriteChromeSweepWorkerLanes(t *testing.T) {
+	events := []Event{
+		{TS: 1000, Seq: 1, Kind: KindSweepBegin},
+		{TS: 1100, Seq: 2, Kind: KindSweepWorkerBegin, Arg: 0},
+		{TS: 1200, Seq: 3, Kind: KindSweepWorkerBegin, Arg: 1},
+		{TS: 1500, Seq: 4, Kind: KindSweepError, Seg: 2, Part: 3, Str: "injected"},
+		{TS: 2000, Seq: 5, Kind: KindSweepWorkerEnd, Arg: 1, Arg2: 4},
+		{TS: 2500, Seq: 6, Kind: KindSweepWorkerEnd, Arg: 0, Arg2: 5},
+		{TS: 2600, Seq: 7, Kind: KindSweepEnd, Arg: 9, Arg2: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	// Worker spans must land on distinct dynamic lanes, each with a
+	// thread_name metadata event, and the sweep-error must surface as
+	// an instant.
+	workerTIDs := map[any]string{}
+	laneNames := map[string]bool{}
+	var haveErrInstant bool
+	for _, ev := range parsed.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			if args, ok := ev["args"].(map[string]any); ok {
+				if n, _ := args["name"].(string); n != "" {
+					laneNames[n] = true
+				}
+			}
+		case "X":
+			if name, _ := ev["name"].(string); name == "sweep-worker-0" || name == "sweep-worker-1" {
+				workerTIDs[ev["tid"]] = name
+			}
+		case "i":
+			if name, _ := ev["name"].(string); name == "sweep-error" {
+				haveErrInstant = true
+			}
+		}
+	}
+	if len(workerTIDs) != 2 {
+		t.Fatalf("worker spans on %d distinct lanes, want 2 (%v)", len(workerTIDs), workerTIDs)
+	}
+	if !laneNames["sweep-w0"] || !laneNames["sweep-w1"] {
+		t.Fatalf("missing sweep worker lane names: %v", laneNames)
+	}
+	if !haveErrInstant {
+		t.Fatal("sweep-error did not surface as an instant")
+	}
+}
