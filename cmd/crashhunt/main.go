@@ -74,6 +74,7 @@ func main() {
 		maxPlans = flag.Int("max-plans", 0, "cap on enumerated plans (0 = no cap)")
 		short    = flag.Bool("short", false, "small sweep sized for CI")
 		planStr  = flag.String("plan", "", "replay one explicit plan instead of sweeping")
+		streams  = flag.Int("streams", 0, "SLB log streams for the swept database (0 = sweep default of 1)")
 		breakDup = flag.Bool("break-duplex", false, "sabotage: disable the duplexed-read fallback, demonstrating sweep failure detection")
 		verbose  = flag.Bool("v", false, "log every plan as it runs")
 		jsonPath = flag.String("json", "", "write machine-readable sweep results to this path (\"-\" = stdout)")
@@ -85,6 +86,7 @@ func main() {
 		Ops:         *ops,
 		PerPoint:    *perPoint,
 		MaxPlans:    *maxPlans,
+		LogStreams:  *streams,
 		BreakDuplex: *breakDup,
 	}
 	if *short {

@@ -161,15 +161,12 @@ func (m *Manager) RequestCheckpoint(pid addr.PartitionID) {
 	}
 }
 
-// WaitIdle blocks until the SLB committed list is drained and no
+// WaitIdle blocks until every stream's committed list is drained and no
 // checkpoint requests are outstanding; used by tests and orderly
 // shutdown to reach a quiescent stable state.
 func (m *Manager) WaitIdle() {
 	for {
-		m.slb.st.mu.Lock()
-		busy := len(m.slb.st.committed) > 0 || len(m.slb.st.ckptQueue) > 0
-		m.slb.st.mu.Unlock()
-		if !busy {
+		if !m.slb.busy() {
 			return
 		}
 		if m.inj.Crashed() {

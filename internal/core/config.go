@@ -1,14 +1,19 @@
 // Package core implements the paper's recovery component: the Stable
-// Log Buffer and Stable Log Tail in stable reliable memory, the
-// recovery-CPU loop that sorts committed log records into partition
-// bins and flushes bin pages to the duplexed log disks, update-count
-// and age (log-window) checkpoint triggering, the main-CPU checkpoint
-// transactions against the pseudo-circular checkpoint disk queue, and
-// two-phase post-crash recovery: catalogs first, then partitions on
-// demand with a low-priority background sweep (§2).
+// Log Buffer — sharded into per-core log streams with epoch-based
+// group commit (see slb.go) — and the Stable Log Tail in stable
+// reliable memory, the recovery-CPU loop that merge-sorts committed
+// log records from the streams into partition bins and flushes bin
+// pages to the duplexed log disks, update-count and age (log-window)
+// checkpoint triggering, the main-CPU checkpoint transactions against
+// the pseudo-circular checkpoint disk queue, and two-phase post-crash
+// recovery: catalogs first, then partitions on demand with a
+// low-priority background sweep (§2). docs/LOGGING.md walks the commit
+// path end to end; docs/ARCHITECTURE.md maps the whole component.
 package core
 
 import (
+	"time"
+
 	"mmdb/internal/fault"
 	"mmdb/internal/model"
 	"mmdb/internal/simdisk"
@@ -25,6 +30,20 @@ type Config struct {
 	// blocks are allocated to transactions on demand and dedicated to
 	// one transaction for their lifetime (§2.3.1).
 	SLBBlockSize int
+	// LogStreams shards the Stable Log Buffer into this many per-core
+	// log streams, each its own stable-memory region with its own
+	// latch; committing transactions are affinitized to streams by
+	// transaction ID. 0 or negative means GOMAXPROCS. A non-empty
+	// buffer surviving a crash keeps its own stream count regardless.
+	LogStreams int
+	// GroupCommitInterval is the epoch-closer timer of group commit: a
+	// commit epoch stays open at least this long before it is sealed
+	// across all streams and its committers released, trading commit
+	// latency for larger durable groups. 0 seals eagerly — a seal
+	// leader closes the epoch as soon as no other seal is in flight,
+	// so batching still emerges under concurrency but an uncontended
+	// commit stays at stable-memory latency.
+	GroupCommitInterval time.Duration
 	// UpdateThreshold is N_update: log records a partition may
 	// accumulate before a checkpoint is triggered by update count.
 	UpdateThreshold int
@@ -123,4 +142,6 @@ type Stats struct {
 	SweepErrors        int64 // failed recovery attempts during the sweep
 	TxnsCommitted      int64
 	TxnsAborted        int64
+	EpochsSealed       int64 // group-commit epochs sealed across all streams
+	EpochRollbacks     int64 // committed-but-unsealed chains rolled back at restart
 }

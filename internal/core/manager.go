@@ -113,11 +113,14 @@ type Manager struct {
 // database the stable memory is empty; after a crash, Attach recovers
 // the stable structures (use Restart for the full §2.5 sequence).
 func New(hw *Hardware, cfg Config, store *mm.Store, locks *lock.Manager) (*Manager, error) {
-	s, err := newSLB(hw.Stable, cfg.SLBBlockSize)
+	s, err := newSLB(hw.Stable, cfg)
 	if err != nil {
 		return nil, err
 	}
-	mt := newMetrics()
+	// The metrics registry is built after the SLB attaches, because the
+	// per-stream counters must match the stream count of the buffer that
+	// actually survived (which can differ from cfg.LogStreams).
+	mt := newMetrics(s.streams())
 	m := &Manager{
 		cfg:      cfg,
 		hw:       hw,
@@ -133,9 +136,17 @@ func New(hw *Hardware, cfg Config, store *mm.Store, locks *lock.Manager) (*Manag
 		metrics:  mt,
 	}
 	// Thread the instruments through the components the manager wires:
-	// the SLB reports record-write latency, the lock table wait time and
-	// deadlocks, the transaction manager begin-to-commit latency.
+	// the SLB reports record-write latency and the group-commit seal
+	// cadence, the lock table wait time and deadlocks, the transaction
+	// manager begin-to-commit latency. Commit waiters park on the
+	// manager's stop channel so Stop (and the crash path) releases them.
+	s.stopCh = m.stop
 	s.writeLatency = mt.SLBRecordWrite
+	s.groupWait = mt.GroupCommitWait
+	s.streamRecords = mt.StreamRecords
+	s.epochsSealed = mt.EpochsSealed
+	s.epochChains = mt.EpochChains
+	mt.Streams.Set(int64(s.streams()))
 	locks.WaitLatency = mt.LockWait
 	locks.DeadlockCount = mt.Deadlocks
 	m.Txns = txn.NewManager(store, locks, &sinkWrapper{m: m})
@@ -226,6 +237,8 @@ func (m *Manager) Stats() Stats {
 		SweepErrors:        mt.RecoverySweepErrors.Value(),
 		TxnsCommitted:      mt.TxnsCommitted.Value(),
 		TxnsAborted:        mt.TxnsAborted.Value(),
+		EpochsSealed:       mt.EpochsSealed.Value(),
+		EpochRollbacks:     mt.EpochRollbacks.Value(),
 	}
 }
 
@@ -297,7 +310,10 @@ func (m *Manager) drainCommitted() {
 // remain.
 func (m *Manager) drainSome(n int) bool {
 	for i := 0; i < n; i++ {
-		c := m.slb.peekCommitted()
+		// Only sealed chains are visible to the sorter: an unsealed
+		// epoch's effects must stay out of the partition bins, since a
+		// crash would roll that epoch back.
+		c := m.slb.peekSealed()
 		if c == nil {
 			return false
 		}

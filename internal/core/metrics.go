@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"mmdb/internal/metrics"
 )
 
@@ -23,13 +25,22 @@ type Metrics struct {
 
 	// txn — validates the instant-commit claim: commit latency must be
 	// memory-speed, with no log-I/O synchronisation in its tail.
-	CommitLatency *metrics.Histogram
-	TxnsCommitted *metrics.Counter
-	TxnsAborted   *metrics.Counter
+	// GroupCommitWait is the epoch-seal wait inside CommitTxn — the
+	// group-commit component of commit latency.
+	CommitLatency   *metrics.Histogram
+	GroupCommitWait *metrics.Histogram
+	TxnsCommitted   *metrics.Counter
+	TxnsAborted     *metrics.Counter
 
 	// slb — the main-CPU side of logging: latency of one REDO record
-	// write into stable memory.
+	// write into stable memory, the per-core stream fan-out, and the
+	// epoch-seal cadence.
 	SLBRecordWrite *metrics.Histogram
+	Streams        *metrics.Gauge
+	StreamRecords  []*metrics.Counter
+	EpochsSealed   *metrics.Counter
+	EpochChains    *metrics.Histogram
+	EpochRollbacks *metrics.Counter
 
 	// log — the recovery-CPU side: sorting committed chains into
 	// partition bins and flushing full bin pages to the log disk.
@@ -77,8 +88,11 @@ type Metrics struct {
 	DuplexRepairs   *metrics.Counter
 }
 
-// newMetrics builds the instrument set on a fresh registry.
-func newMetrics() *Metrics {
+// newMetrics builds the instrument set on a fresh registry. streams is
+// the resolved SLB stream count (it can differ from Config.LogStreams
+// when a non-empty buffer survived a crash with a different count), so
+// the per-stream counters match the buffer actually attached.
+func newMetrics(streams int) *Metrics {
 	reg := metrics.NewRegistry()
 	txn := reg.Subsystem("txn")
 	slb := reg.Subsystem("slb")
@@ -87,16 +101,30 @@ func newMetrics() *Metrics {
 	restart := reg.Subsystem("restart")
 	lockS := reg.Subsystem("lock")
 	faultS := reg.Subsystem("fault")
+	streamRecords := make([]*metrics.Counter, streams)
+	for i := range streamRecords {
+		streamRecords[i] = slb.Counter(fmt.Sprintf("stream%02d_records", i), "records",
+			fmt.Sprintf("REDO records appended to log stream %d", i))
+	}
 	return &Metrics{
 		reg: reg,
 
 		CommitLatency: txn.Histogram("commit_latency", "ns",
 			"begin-to-commit latency of user transactions (§2.3.1 instant commit)"),
+		GroupCommitWait: txn.Histogram("group_commit_wait", "ns",
+			"time CommitTxn waits for its epoch to seal across all log streams"),
 		TxnsCommitted: txn.Counter("commits", "txns", "committed transactions"),
 		TxnsAborted:   txn.Counter("aborts", "txns", "aborted transactions"),
 
 		SLBRecordWrite: slb.Histogram("record_write", "ns",
 			"latency of one REDO record write into the Stable Log Buffer"),
+		Streams:       slb.Gauge("streams", "streams", "per-core log stream count of the attached SLB"),
+		StreamRecords: streamRecords,
+		EpochsSealed:  slb.Counter("epochs_sealed", "epochs", "group-commit epochs sealed across all streams"),
+		EpochChains: slb.Histogram("epoch_chains", "chains",
+			"transaction chains made durable per sealed epoch (group size)"),
+		EpochRollbacks: slb.Counter("epoch_rollbacks", "chains",
+			"committed-but-unsealed chains rolled back at restart (half-sealed epochs)"),
 
 		PageFlushLatency: logS.Histogram("page_flush", "ns",
 			"latency of one bin page write to the duplexed log disks (§2.3.3)"),

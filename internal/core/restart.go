@@ -1,5 +1,16 @@
 package core
 
+// Post-crash restart (§2.5), in two phases. The synchronous phase —
+// Restart — runs before the first transaction: it rolls back
+// uncommitted and unsealed-epoch SLB chains, merge-sorts the surviving
+// committed chains from every log stream into the Stable Log Tail's
+// partition bins in (epoch, stream, sequence) order, and restores the
+// catalog partitions from the well-known stable root. Everything else
+// is deferred: Resume installs on-demand recovery (a transaction
+// touching an unrecovered partition triggers its restore) and the
+// parallel background sweep that restores the remainder, so time to
+// first transaction is independent of database size.
+
 import (
 	"errors"
 	"fmt"
@@ -21,9 +32,13 @@ import (
 // Restart performs the stable-state half of post-crash recovery (§2.5):
 //
 //  1. discard uncommitted SLB chains (their transactions died with the
-//     volatile memory) and reset crashed in-progress checkpoint
+//     volatile memory), roll back committed chains whose group-commit
+//     epoch was never globally sealed (their committers were never
+//     acknowledged — a crash between per-stream seals must not surface
+//     half an epoch), and reset crashed in-progress checkpoint
 //     requests;
-//  2. synchronously re-sort committed-but-unsorted chains into
+//  2. synchronously re-sort the remaining committed chains — merged
+//     across streams in (epoch, stream, sequence) order — into
 //     partition bins, completing the Stable Log Tail;
 //  3. restore the catalog partitions from the well-known root.
 //
@@ -78,6 +93,18 @@ func (m *Manager) Restart() (*catalog.Root, error) {
 // checkpoint disks).
 func (m *Manager) DrainStableOnly() {
 	m.slb.discardUncommitted()
+	// Group-commit rollback: a committed chain whose epoch was never
+	// globally sealed belongs to a transaction that was never
+	// acknowledged durable (CommitTxn returns only after the global
+	// seal), so the whole epoch is discarded — including the case where
+	// the crash landed between two streams' seals of the same epoch.
+	for _, c := range m.slb.discardUnsealed() {
+		m.metrics.EpochRollbacks.Add(1)
+		m.tracer.Emit(trace.Event{
+			Kind: trace.KindEpochRollback, Txn: c.id,
+			Arg: c.epoch, Arg2: uint64(c.stream.id),
+		})
+	}
 	m.slb.resetInProgress()
 	m.slt.st.mu.Lock()
 	for _, b := range m.slt.st.bins {
@@ -103,20 +130,31 @@ func (m *Manager) DrainStableOnly() {
 }
 
 // ResetStableState frees every stable log structure on hw (releasing
-// its stable-memory reservations) and installs fresh ones seeded with
-// the given root. Media-failure recovery uses it after rebuilding the
+// its stable-memory reservations, including the per-stream SLB arenas)
+// and installs a fresh Stable Log Tail seeded with the given root; the
+// SLB root slot is cleared so the next manager's newSLB builds a fresh
+// buffer with its own configured stream count. Media-failure recovery uses it after rebuilding the
 // database from the archive: the old bins' log records have been
 // replayed into the rebuilt store, so the stable log starts over.
 func ResetStableState(hw *Hardware, root *catalog.Root) {
 	if st, _ := hw.Stable.Root(slbRootKey).(*slbState); st != nil {
-		st.mu.Lock()
-		for _, c := range st.uncommitted {
-			c.free()
+		for _, ls := range st.streams {
+			ls.mu.Lock()
+			for _, c := range ls.uncommitted {
+				c.free()
+			}
+			for _, c := range ls.committed {
+				c.free()
+			}
+			ls.uncommitted = make(map[uint64]*txnChain)
+			ls.committed = nil
+			ls.mu.Unlock()
 		}
-		for _, c := range st.committed {
-			c.free()
-		}
-		st.mu.Unlock()
+		// Chains freed, regions empty: return the streams' extents to
+		// the shared pool. The next newSLB sees an all-empty buffer and
+		// reshards it with fresh arenas per its config.
+		st.releaseArenas()
+		hw.Stable.SetRoot(slbRootKey, nil)
 	}
 	if st, _ := hw.Stable.Root(sltRootKey).(*sltState); st != nil {
 		st.mu.Lock()
@@ -132,7 +170,6 @@ func ResetStableState(hw *Hardware, root *catalog.Root) {
 	if root != nil {
 		fresh.root = root.Clone()
 	}
-	hw.Stable.SetRoot(slbRootKey, newSLBState())
 	hw.Stable.SetRoot(sltRootKey, fresh)
 }
 

@@ -56,6 +56,15 @@ const (
 	// Stable memory block appends: SLB record writes and SLT bin page
 	// buffer writes.
 	PointStableAppend Point = "stable.append"
+	// Stable Log Buffer stream operations: one "slb.append" hit per REDO
+	// record written into a per-core log stream, and one "slb.seal" hit
+	// per (stream, epoch-seal) pair — a crash at the k-th seal hit lands
+	// between stream k-1's seal and stream k's, the half-sealed-epoch
+	// window group commit must tolerate. Separate points (rather than
+	// reusing "stable.append") so arming them does not shift existing
+	// plan hit counts.
+	PointSLBAppend Point = "slb.append"
+	PointSLBSeal   Point = "slb.seal"
 	// Checkpoint transaction steps (§2.4): the dangerous windows
 	// between fence, image write, and commit.
 	PointCkptAfterFence   Point = "ckpt.after-fence"
@@ -70,6 +79,7 @@ func AllPoints() []Point {
 		PointLogReadPrimary, PointLogReadMirror,
 		PointCkptWrite, PointCkptRead,
 		PointStableAppend,
+		PointSLBAppend, PointSLBSeal,
 		PointCkptAfterFence, PointCkptAfterImage, PointCkptBeforeCommit,
 	}
 }

@@ -67,6 +67,13 @@ type Options struct {
 	// Points restricts the sweep to a subset of fault points; empty
 	// means every defined point.
 	Points []fault.Point
+	// LogStreams overrides the SLB stream count for the swept database
+	// (crashhunt -streams). 0 keeps the sweep default of 1 stream,
+	// which gives every plan a deterministic single-stream hit order;
+	// with more streams the fault matrix exercises multi-stream
+	// interleavings, including crashes landing between one stream's
+	// epoch seal and the next (the "slb.seal" point).
+	LogStreams int
 	// BreakDuplex disables the duplexed-read fallback (§2.2) before the
 	// workload: a deliberate sabotage switch demonstrating that the
 	// sweep detects a broken recovery path. It also disables
@@ -138,6 +145,10 @@ func Config() mmdb.Config {
 	cfg.DirSize = 3
 	cfg.CheckpointTracks = 512
 	cfg.StableBytes = 8 << 20
+	// One log stream by default so the baseline cycle's per-point hit
+	// counts (and therefore every enumerated plan's hit index) are
+	// machine-independent; Options.LogStreams widens the matrix.
+	cfg.LogStreams = 1
 	cfg.BackgroundRecovery = false // the warm-up phase demands recovery deterministically
 	// The flight recorder rides along so every violation report carries
 	// the pre-crash event timeline. Its ring writes bypass the fault
@@ -231,6 +242,17 @@ func actsFor(p fault.Point) []fault.Act {
 	switch p {
 	case fault.PointStableAppend:
 		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActCrashAfter}
+	case fault.PointSLBAppend:
+		// Per-record stream append. Physical tearing is exercised one
+		// level down at "stable.append"; here the interesting failures
+		// are the whole-record ones around the stream bookkeeping.
+		return []fault.Act{fault.ActCrashBefore, fault.ActCrashAfter, fault.ActIOErr}
+	case fault.PointSLBSeal:
+		// One hit per (stream, epoch-seal) pair: a crash at hit k lands
+		// between stream k-1's seal and stream k's, leaving the epoch
+		// half-sealed — it must roll back whole at restart. IOErr makes
+		// the seal leader retry with a later epoch.
+		return []fault.Act{fault.ActCrashBefore, fault.ActIOErr}
 	case fault.PointLogWritePrimary:
 		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActCrashAfter, fault.ActIOErr, fault.ActCorrupt}
 	case fault.PointLogWriteMirror:
@@ -311,6 +333,9 @@ func runPlan(opts *Options, plan fault.Plan) planResult {
 		r.model[i] = map[mmdb.RowID]row{}
 	}
 	r.cfg = Config()
+	if opts.LogStreams > 0 {
+		r.cfg.LogStreams = opts.LogStreams
+	}
 	if opts.BreakDuplex {
 		// Keep all committed state in the log window: no checkpoints,
 		// no archiving, so recovery must read back every page and a

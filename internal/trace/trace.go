@@ -100,6 +100,17 @@ const (
 	// construction, the final event of the flight recorder.
 	KindFaultTrigger
 
+	// Group-commit epoch lifecycle (per-core SLB streams). StreamSeal
+	// is one stream's seal of an epoch (Arg = epoch, Arg2 = stream);
+	// EpochSeal is the global publish releasing the epoch's committers
+	// (Arg = epoch, Arg2 = chains made durable); EpochRollback is a
+	// restart discarding a committed-but-unsealed chain (Txn set,
+	// Arg = epoch, Arg2 = stream). KindSLBAppend's Arg2 carries the
+	// stream index.
+	KindStreamSeal
+	KindEpochSeal
+	KindEpochRollback
+
 	kindMax
 )
 
@@ -126,6 +137,9 @@ var kindNames = [...]string{
 	KindSweepWorkerEnd:   "sweep-worker-end",
 	KindSweepError:       "sweep-error",
 	KindFaultTrigger:     "fault-trigger",
+	KindStreamSeal:       "stream-seal",
+	KindEpochSeal:        "epoch-seal",
+	KindEpochRollback:    "epoch-rollback",
 }
 
 func (k Kind) String() string {
@@ -146,7 +160,7 @@ func (k Kind) Subsystem() string {
 		return "txn"
 	case KindLockBlock, KindLockGrant, KindLockDeadlock:
 		return "lock"
-	case KindSLBAppend:
+	case KindSLBAppend, KindStreamSeal, KindEpochSeal, KindEpochRollback:
 		return "slb"
 	case KindPageFlush:
 		return "log"
