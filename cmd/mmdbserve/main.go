@@ -1,0 +1,72 @@
+// Command mmdbserve is the standalone mmdb server daemon: it opens a
+// fresh database and serves the binary wire protocol on a TCP address
+// until interrupted, shutting down gracefully (drain in-flight
+// transactions, flush pending responses, settle the recovery
+// component).
+//
+//	mmdbserve -addr 127.0.0.1:7707 -workers 8
+//
+// Remote clients: cmd/mmdbload (open-loop load rig) and
+// cmd/mmdbsh -connect (interactive shell). See docs/NETWORK.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mmdb"
+	"mmdb/internal/fault"
+	"mmdb/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7707", "TCP listen address")
+		workers     = flag.Int("workers", 8, "executor pool size")
+		queue       = flag.Int("queue", 1024, "shared request queue depth")
+		traceEvents = flag.Int("trace-events", 0, "volatile trace ring size (0 disables tracing)")
+		flightBytes = flag.Int("flight-recorder", 0, "stable flight-recorder bytes (0 disables)")
+		logStreams  = flag.Int("log-streams", 0, "SLB log streams (0 = config default)")
+		bgRecovery  = flag.Bool("bg-recovery", true, "background partition recovery after a crash")
+		recWorkers  = flag.Int("recovery-workers", 4, "background sweep worker count")
+	)
+	flag.Parse()
+
+	cfg := mmdb.DefaultConfig()
+	cfg.TraceBufferEvents = *traceEvents
+	cfg.FlightRecorderBytes = *flightBytes
+	if *logStreams > 0 {
+		cfg.LogStreams = *logStreams
+	}
+	cfg.BackgroundRecovery = *bgRecovery
+	cfg.RecoveryWorkers = *recWorkers
+	// An (initially empty) injector so remote OpCrash halts the
+	// simulated machine sharply, exactly like the test crashes.
+	cfg.FaultInjector = fault.NewInjector(fault.Plan{})
+
+	db, err := mmdb.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmdbserve:", err)
+		os.Exit(1)
+	}
+	s, err := server.New(db, cfg, server.Config{Addr: *addr, Workers: *workers, Queue: *queue})
+	if err != nil {
+		_ = db.Close()
+		fmt.Fprintln(os.Stderr, "mmdbserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mmdbserve: listening on %s (workers=%d queue=%d)\n", s.Addr(), *workers, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("mmdbserve: draining...")
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mmdbserve: close:", err)
+		os.Exit(1)
+	}
+	fmt.Println("mmdbserve: bye")
+}

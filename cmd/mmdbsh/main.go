@@ -20,6 +20,12 @@
 //
 // With -metrics-json PATH, the shell writes an expvar-style JSON dump
 // of the final metrics snapshot to PATH on exit ("-" for stdout).
+//
+// With -connect host:port, the shell speaks the binary wire protocol
+// to a running mmdbserve instead of embedding its own database; see
+// docs/NETWORK.md. "crash" then crashes and recovers the server's
+// database remotely, and "metrics" shows the merged DB + server
+// snapshot. Local-only commands (stats, bins, trace) are unavailable.
 package main
 
 import (
@@ -35,8 +41,12 @@ import (
 	"mmdb/internal/metrics"
 )
 
-var metricsJSON = flag.String("metrics-json", "",
-	"on exit, write a JSON dump of the metrics snapshot to this file ('-' for stdout)")
+var (
+	metricsJSON = flag.String("metrics-json", "",
+		"on exit, write a JSON dump of the metrics snapshot to this file ('-' for stdout)")
+	connect = flag.String("connect", "",
+		"host:port of a running mmdbserve; the shell speaks the wire protocol instead of embedding a database")
+)
 
 // dumpMetrics writes the snapshot as indented JSON per -metrics-json.
 func dumpMetrics(db *mmdb.DB) {
@@ -60,6 +70,9 @@ func dumpMetrics(db *mmdb.DB) {
 
 func main() {
 	flag.Parse()
+	if *connect != "" {
+		os.Exit(remoteShell(*connect))
+	}
 	cfg := mmdb.DefaultConfig()
 	// Tracing is always on in the shell: the rings are small and the
 	// whole point of the tool is watching the machinery work.

@@ -1,0 +1,222 @@
+// Remote mode: with -connect host:port the shell speaks the binary
+// wire protocol to a running mmdbserve instead of embedding its own
+// database. The command set is the same where the protocol allows;
+// "crash" becomes a remote crash+recover of the server's database, and
+// "metrics" shows the merged DB + server snapshot.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mmdb/internal/metrics"
+	"mmdb/internal/server/client"
+	"mmdb/internal/server/proto"
+)
+
+// remoteShell runs the interactive loop against a remote server.
+func remoteShell(addr string) int {
+	c, err := client.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		fmt.Fprintln(os.Stderr, "ping:", err)
+		return 1
+	}
+	fmt.Printf("mmdb shell — connected to %s — 'help' for commands\n", addr)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("mmdb> ")
+		if !sc.Scan() {
+			return 0
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return 0
+		case "help":
+			fmt.Println("create index insert get scan lookup delete metrics crash ping quit")
+			fmt.Println("(remote mode: stats/bins/trace need local access — run mmdbsh without -connect)")
+		default:
+			if err := remoteCommand(c, fields); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+	}
+}
+
+// remoteCommand dispatches one shell command over the wire.
+func remoteCommand(c *client.Conn, f []string) error {
+	switch f[0] {
+	case "ping":
+		if err := c.Ping(); err != nil {
+			return err
+		}
+		fmt.Println("pong")
+		return nil
+	case "crash":
+		dur, err := c.Crash()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server crashed and recovered in %v; catalogs restored, partitions on demand\n", dur)
+		return nil
+	case "metrics":
+		blob, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		var snap metrics.Snapshot
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			return err
+		}
+		fmt.Print(metrics.FormatTable(snap))
+		return nil
+	case "create":
+		if len(f) < 3 {
+			return fmt.Errorf("usage: create <rel> <col:type> ...")
+		}
+		var cols []proto.Col
+		for _, spec := range f[2:] {
+			parts := strings.SplitN(spec, ":", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad column spec %q", spec)
+			}
+			var t byte
+			switch parts[1] {
+			case "int":
+				t = 1
+			case "float":
+				t = 2
+			case "string":
+				t = 3
+			default:
+				return fmt.Errorf("bad type %q", parts[1])
+			}
+			cols = append(cols, proto.Col{Name: parts[0], Type: t})
+		}
+		return c.CreateRelation(f[1], cols)
+	case "index":
+		if len(f) != 5 {
+			return fmt.Errorf("usage: index <rel> <name> <col> <ttree|hash>")
+		}
+		kind := byte(1) // ttree
+		if f[4] == "hash" {
+			kind = 2
+		}
+		return c.CreateIndex(f[1], f[2], f[3], kind, 16)
+	case "insert":
+		if len(f) < 3 {
+			return fmt.Errorf("usage: insert <rel> <val> ...")
+		}
+		schema, err := c.Schema(f[1])
+		if err != nil {
+			return err
+		}
+		if len(f)-2 != len(schema) {
+			return fmt.Errorf("%d values for %d columns", len(f)-2, len(schema))
+		}
+		vals := make([]any, len(schema))
+		for i, col := range schema {
+			v, err := parseVal(col.Type, f[2+i])
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		row, err := c.Insert(f[1], vals)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("row %d.%d.%d\n", row.Seg, row.Part, row.Slot)
+		return nil
+	case "get", "delete":
+		if len(f) != 3 {
+			return fmt.Errorf("usage: %s <rel> <seg.part.slot>", f[0])
+		}
+		row, err := parseWireRow(f[2])
+		if err != nil {
+			return err
+		}
+		if f[0] == "delete" {
+			return c.Delete(f[1], row)
+		}
+		tup, err := c.Get(f[1], row)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tup)
+		return nil
+	case "scan":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: scan <rel>")
+		}
+		rows, err := c.Scan(f[1], 100)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%d.%d.%d\t%v\n", r.Addr.Seg, r.Addr.Part, r.Addr.Slot, r.Tuple)
+		}
+		if len(rows) == 100 {
+			fmt.Println("... (truncated at 100 rows)")
+		}
+		return nil
+	case "lookup":
+		if len(f) != 4 {
+			return fmt.Errorf("usage: lookup <rel> <index> <key>")
+		}
+		// Key type heuristic: int, then float, else string. The server
+		// rejects a mistyped key with a clear error, so this is fine
+		// for an interactive tool.
+		var key any = f[3]
+		if v, err := strconv.ParseInt(f[3], 10, 64); err == nil {
+			key = v
+		} else if v, err := strconv.ParseFloat(f[3], 64); err == nil {
+			key = v
+		}
+		rows, err := c.Lookup(f[1], f[2], key)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%d.%d.%d\t%v\n", r.Addr.Seg, r.Addr.Part, r.Addr.Slot, r.Tuple)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try help)", f[0])
+	}
+}
+
+// parseVal converts a shell token per the wire column type.
+func parseVal(t byte, s string) (any, error) {
+	switch t {
+	case 1:
+		return strconv.ParseInt(s, 10, 64)
+	case 2:
+		return strconv.ParseFloat(s, 64)
+	case 3:
+		return s, nil
+	}
+	return nil, fmt.Errorf("unknown column type %d", t)
+}
+
+// parseWireRow parses seg.part.slot into a wire row address.
+func parseWireRow(s string) (proto.Row, error) {
+	var seg, part uint32
+	var slot uint16
+	if _, err := fmt.Sscanf(s, "%d.%d.%d", &seg, &part, &slot); err != nil {
+		return proto.Row{}, fmt.Errorf("bad row id %q (want seg.part.slot)", s)
+	}
+	return proto.Row{Seg: seg, Part: part, Slot: slot}, nil
+}

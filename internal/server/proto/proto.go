@@ -1,0 +1,742 @@
+// Package proto defines the wire protocol of the mmdb network
+// front-end: simple length-prefixed binary frames carrying requests
+// and responses between a pipelining client and the server.
+//
+// A frame is uvarint(payload length) followed by the payload, the same
+// compact framing style as internal/trace events and wal records. The
+// payload of a request is
+//
+//	id uvarint · opcode(1) · op-specific fields
+//
+// and of a response
+//
+//	id uvarint · status(1) · status-specific fields
+//
+// where every integer is a uvarint, every string a uvarint length plus
+// bytes, and every typed value a tag byte (int/float/string) plus its
+// encoding. Request IDs are chosen by the client and echoed verbatim;
+// the server may answer pipelined requests out of order, so the ID is
+// the only correlation between the two directions.
+//
+// Decoding follows the torn-tail discipline of internal/trace frame
+// decoding: a decoder distinguishes "frame not complete yet" (ErrShort
+// — read more bytes and retry) from "frame can never be valid"
+// (ErrCorrupt — the connection is poisoned and must be dropped), and
+// no input, however malicious or truncated, may panic or cause an
+// unbounded allocation. Every length read off the wire is checked
+// against MaxFrame and the per-field caps before any allocation.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MaxFrame is the largest legal frame payload. A length prefix beyond
+// it is corruption (or abuse) by definition, so a decoder can reject
+// it before allocating anything.
+const MaxFrame = 1 << 20
+
+// Field caps, enforced on decode so a hostile frame cannot demand
+// unbounded allocation: a relation has at most MaxCols columns, a
+// lookup/scan response at most MaxRows rows, and any string at most
+// MaxString bytes.
+const (
+	MaxCols   = 256
+	MaxRows   = 4096
+	MaxString = 1 << 16
+)
+
+// Op is a request opcode.
+type Op byte
+
+// The opcode catalog. CRUD opcodes operate on one relation named in
+// the request; DebitCredit is the composite Gray-style transaction
+// (account + teller + branch update plus a history append) used by the
+// load rig so one round trip costs one transaction; Crash asks the
+// server to crash and recover its database in place (admin/testing);
+// Metrics returns a JSON metrics snapshot.
+const (
+	OpInvalid Op = iota
+	OpPing
+	OpCreateRel
+	OpCreateIndex
+	OpInsert
+	OpGet
+	OpUpdate
+	OpDelete
+	OpLookup
+	OpScan
+	OpSchema
+	OpDebitCredit
+	OpCrash
+	OpMetrics
+	opMax
+)
+
+var opNames = [...]string{
+	OpInvalid:     "invalid",
+	OpPing:        "ping",
+	OpCreateRel:   "create-rel",
+	OpCreateIndex: "create-index",
+	OpInsert:      "insert",
+	OpGet:         "get",
+	OpUpdate:      "update",
+	OpDelete:      "delete",
+	OpLookup:      "lookup",
+	OpScan:        "scan",
+	OpSchema:      "schema",
+	OpDebitCredit: "debit-credit",
+	OpCrash:       "crash",
+	OpMetrics:     "metrics",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o > OpInvalid && o < opMax }
+
+// NumOps is the number of defined opcodes (for per-opcode metric
+// arrays indexed by Op).
+const NumOps = int(opMax)
+
+// Status is a response status code. Anything but StatusOK carries a
+// human-readable message in Response.Msg.
+type Status byte
+
+// Response statuses. StatusShutdown is the typed rejection a draining
+// server sends for frames that arrive after Close began; StatusRecovering
+// is the typed rejection during a crash+restart window — both tell the
+// client the request was NOT executed and may be retried elsewhere or
+// later.
+const (
+	StatusOK Status = iota
+	StatusError
+	StatusNotFound
+	StatusExists
+	StatusDeadlock
+	StatusBadRequest
+	StatusShutdown
+	StatusRecovering
+	statusMax
+)
+
+var statusNames = [...]string{
+	StatusOK:         "ok",
+	StatusError:      "error",
+	StatusNotFound:   "not-found",
+	StatusExists:     "exists",
+	StatusDeadlock:   "deadlock",
+	StatusBadRequest: "bad-request",
+	StatusShutdown:   "shutting-down",
+	StatusRecovering: "recovering",
+}
+
+func (s Status) String() string {
+	if int(s) < len(statusNames) && statusNames[s] != "" {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("status(%d)", byte(s))
+}
+
+// Valid reports whether s is a defined status.
+func (s Status) Valid() bool { return s < statusMax }
+
+// Errors returned by the codec.
+var (
+	// ErrShort means the buffer does not yet hold a complete frame;
+	// the caller should read more bytes and retry.
+	ErrShort = errors.New("proto: incomplete frame")
+	// ErrCorrupt means the frame can never become valid: bad length,
+	// bad opcode, field lengths disagreeing with the payload. The
+	// connection carrying it must be dropped.
+	ErrCorrupt = errors.New("proto: corrupt frame")
+)
+
+// Row addresses a stored tuple on the wire (segment, partition, slot).
+type Row struct {
+	Seg  uint32
+	Part uint32
+	Slot uint16
+}
+
+// Col is one schema column on the wire. Type uses the heap.ColType
+// values (1 int64, 2 float64, 3 string).
+type Col struct {
+	Name string
+	Type byte
+}
+
+// Request is one client request. Only the fields the opcode uses are
+// encoded; see the per-opcode field table in docs/NETWORK.md.
+type Request struct {
+	ID uint64
+	Op Op
+
+	Rel   string // CreateRel, CreateIndex, Insert, Get, Update, Delete, Lookup, Scan, Schema
+	Idx   string // CreateIndex (index name), Lookup
+	Col   string // CreateIndex (column name)
+	Kind  byte   // CreateIndex (index kind: heap/catalog IndexKind)
+	Order uint32 // CreateIndex (node order, 0 default)
+
+	Cols []Col // CreateRel (schema); Update (changed columns, Name only)
+	Vals []any // Insert (tuple), Update (new values, aligned with Cols), Lookup (key at [0])
+
+	Addr  Row    // Get, Update, Delete
+	Limit uint32 // Scan (max rows returned, 0 = server default)
+
+	// DebitCredit fields: the composite transaction updates account,
+	// teller and branch balances by Delta and appends a history row.
+	// Seq is the client's per-account sequence number; the server
+	// stores max(stored, Seq) so a client-side ack log can verify
+	// durability after a crash.
+	Account, Teller, Branch int64
+	Delta                   float64
+	Seq                     uint64
+}
+
+// Response is one server response, correlated to its request by ID.
+type Response struct {
+	ID     uint64
+	Status Status
+	Msg    string // non-OK: human-readable error
+
+	Addr   Row     // Insert: new row address
+	Tuple  []any   // Get: the tuple
+	Rows   []RowTuple
+	Schema []Col   // Schema
+	Seq    uint64  // DebitCredit: the sequence number now stored
+	Val    float64 // DebitCredit: resulting account balance
+	N      uint64  // Crash: recovery micros; Scan: rows scanned before limit
+	Blob   []byte  // Metrics: JSON snapshot
+}
+
+// RowTuple is one row of a Lookup/Scan result.
+type RowTuple struct {
+	Addr  Row
+	Tuple []any
+}
+
+// ---------------------------------------------------------------------
+// Encoding. append* helpers build payloads; the frame layer prefixes
+// the uvarint length.
+// ---------------------------------------------------------------------
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst []byte, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// Value tags on the wire.
+const (
+	tagInt    = 1
+	tagFloat  = 2
+	tagString = 3
+)
+
+// appendValue encodes one typed value. Unsupported dynamic types
+// encode as an empty string: the server will reject them with a schema
+// mismatch, which beats a client-side panic.
+func appendValue(dst []byte, v any) []byte {
+	switch x := v.(type) {
+	case int64:
+		dst = append(dst, tagInt)
+		return appendUvarint(dst, uint64(x))
+	case float64:
+		dst = append(dst, tagFloat)
+		return appendUvarint(dst, math.Float64bits(x))
+	case string:
+		dst = append(dst, tagString)
+		return appendString(dst, x)
+	default:
+		dst = append(dst, tagString)
+		return appendString(dst, "")
+	}
+}
+
+func appendVals(dst []byte, vals []any) []byte {
+	dst = appendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		dst = appendValue(dst, v)
+	}
+	return dst
+}
+
+func appendRow(dst []byte, r Row) []byte {
+	dst = appendUvarint(dst, uint64(r.Seg))
+	dst = appendUvarint(dst, uint64(r.Part))
+	return appendUvarint(dst, uint64(r.Slot))
+}
+
+func appendCols(dst []byte, cols []Col) []byte {
+	dst = appendUvarint(dst, uint64(len(cols)))
+	for _, c := range cols {
+		dst = appendString(dst, c.Name)
+		dst = append(dst, c.Type)
+	}
+	return dst
+}
+
+// AppendRequest appends r's framed encoding to dst.
+func AppendRequest(dst []byte, r *Request) []byte {
+	var p []byte
+	p = appendUvarint(p, r.ID)
+	p = append(p, byte(r.Op))
+	switch r.Op {
+	case OpPing, OpCrash, OpMetrics:
+		// header only
+	case OpCreateRel:
+		p = appendString(p, r.Rel)
+		p = appendCols(p, r.Cols)
+	case OpCreateIndex:
+		p = appendString(p, r.Rel)
+		p = appendString(p, r.Idx)
+		p = appendString(p, r.Col)
+		p = append(p, r.Kind)
+		p = appendUvarint(p, uint64(r.Order))
+	case OpInsert:
+		p = appendString(p, r.Rel)
+		p = appendVals(p, r.Vals)
+	case OpGet, OpDelete:
+		p = appendString(p, r.Rel)
+		p = appendRow(p, r.Addr)
+	case OpUpdate:
+		p = appendString(p, r.Rel)
+		p = appendRow(p, r.Addr)
+		p = appendCols(p, r.Cols)
+		p = appendVals(p, r.Vals)
+	case OpLookup:
+		p = appendString(p, r.Rel)
+		p = appendString(p, r.Idx)
+		p = appendVals(p, r.Vals)
+	case OpScan:
+		p = appendString(p, r.Rel)
+		p = appendUvarint(p, uint64(r.Limit))
+	case OpSchema:
+		p = appendString(p, r.Rel)
+	case OpDebitCredit:
+		p = appendUvarint(p, uint64(r.Account))
+		p = appendUvarint(p, uint64(r.Teller))
+		p = appendUvarint(p, uint64(r.Branch))
+		p = appendUvarint(p, math.Float64bits(r.Delta))
+		p = appendUvarint(p, r.Seq)
+	}
+	dst = appendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+// AppendResponse appends r's framed encoding to dst.
+func AppendResponse(dst []byte, r *Response) []byte {
+	var p []byte
+	p = appendUvarint(p, r.ID)
+	p = append(p, byte(r.Status))
+	if r.Status != StatusOK {
+		p = appendString(p, r.Msg)
+		dst = appendUvarint(dst, uint64(len(p)))
+		return append(dst, p...)
+	}
+	p = appendRow(p, r.Addr)
+	p = appendVals(p, r.Tuple)
+	p = appendUvarint(p, uint64(len(r.Rows)))
+	for _, rt := range r.Rows {
+		p = appendRow(p, rt.Addr)
+		p = appendVals(p, rt.Tuple)
+	}
+	p = appendCols(p, r.Schema)
+	p = appendUvarint(p, r.Seq)
+	p = appendUvarint(p, math.Float64bits(r.Val))
+	p = appendUvarint(p, r.N)
+	p = appendBytes(p, r.Blob)
+	dst = appendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+// ---------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------
+
+// frame splits one frame's payload off the front of buf, returning the
+// payload and the total bytes consumed (header + payload). ErrShort
+// when buf does not yet hold the whole frame; ErrCorrupt when the
+// length prefix is invalid.
+func frame(buf []byte) ([]byte, int, error) {
+	plen, hn := binary.Uvarint(buf)
+	if hn == 0 {
+		return nil, 0, ErrShort // empty or mid-varint: need more bytes
+	}
+	if hn < 0 || plen == 0 || plen > MaxFrame {
+		return nil, 0, fmt.Errorf("%w: bad frame length", ErrCorrupt)
+	}
+	if uint64(len(buf)-hn) < plen {
+		return nil, 0, ErrShort
+	}
+	return buf[hn : hn+int(plen)], hn + int(plen), nil
+}
+
+// reader walks one frame payload; every get reports corruption instead
+// of panicking.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (d *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *reader) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, fmt.Errorf("%w: truncated byte", ErrCorrupt)
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *reader) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > MaxString || n > uint64(len(d.buf)-d.pos) {
+		return "", fmt.Errorf("%w: string length %d exceeds payload", ErrCorrupt, n)
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *reader) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxFrame || n > uint64(len(d.buf)-d.pos) {
+		return nil, fmt.Errorf("%w: blob length %d exceeds payload", ErrCorrupt, n)
+	}
+	b := append([]byte(nil), d.buf[d.pos:d.pos+int(n)]...)
+	d.pos += int(n)
+	return b, nil
+}
+
+func (d *reader) value() (any, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagInt:
+		v, err := d.uvarint()
+		return int64(v), err
+	case tagFloat:
+		v, err := d.uvarint()
+		return math.Float64frombits(v), err
+	case tagString:
+		return d.string()
+	}
+	return nil, fmt.Errorf("%w: bad value tag %d", ErrCorrupt, tag)
+}
+
+func (d *reader) vals() ([]any, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxCols*4 || n > uint64(len(d.buf)-d.pos) {
+		return nil, fmt.Errorf("%w: %d values exceed payload", ErrCorrupt, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]any, n)
+	for i := range out {
+		v, err := d.value()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (d *reader) row() (Row, error) {
+	seg, err := d.uvarint()
+	if err != nil {
+		return Row{}, err
+	}
+	part, err := d.uvarint()
+	if err != nil {
+		return Row{}, err
+	}
+	slot, err := d.uvarint()
+	if err != nil {
+		return Row{}, err
+	}
+	if seg > math.MaxUint32 || part > math.MaxUint32 || slot > math.MaxUint16 {
+		return Row{}, fmt.Errorf("%w: row address out of range", ErrCorrupt)
+	}
+	return Row{Seg: uint32(seg), Part: uint32(part), Slot: uint16(slot)}, nil
+}
+
+func (d *reader) cols() ([]Col, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxCols {
+		return nil, fmt.Errorf("%w: %d columns exceeds cap", ErrCorrupt, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]Col, n)
+	for i := range out {
+		if out[i].Name, err = d.string(); err != nil {
+			return nil, err
+		}
+		if out[i].Type, err = d.byte(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// done verifies the whole payload was consumed: trailing garbage is
+// corruption, exactly like the trace decoder's label-length check.
+func (d *reader) done() error {
+	if d.pos != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf)-d.pos)
+	}
+	return nil
+}
+
+// DecodeRequest parses one framed request from the front of buf,
+// returning the request and the bytes consumed. ErrShort means "read
+// more and retry"; ErrCorrupt means the stream is unrecoverable.
+func DecodeRequest(buf []byte) (Request, int, error) {
+	payload, n, err := frame(buf)
+	if err != nil {
+		return Request{}, 0, err
+	}
+	var r Request
+	d := &reader{buf: payload}
+	if r.ID, err = d.uvarint(); err != nil {
+		return Request{}, 0, err
+	}
+	op, err := d.byte()
+	if err != nil {
+		return Request{}, 0, err
+	}
+	r.Op = Op(op)
+	if !r.Op.Valid() {
+		return Request{}, 0, fmt.Errorf("%w: bad opcode %d", ErrCorrupt, op)
+	}
+	switch r.Op {
+	case OpPing, OpCrash, OpMetrics:
+	case OpCreateRel:
+		if r.Rel, err = d.string(); err != nil {
+			return Request{}, 0, err
+		}
+		if r.Cols, err = d.cols(); err != nil {
+			return Request{}, 0, err
+		}
+	case OpCreateIndex:
+		if r.Rel, err = d.string(); err != nil {
+			return Request{}, 0, err
+		}
+		if r.Idx, err = d.string(); err != nil {
+			return Request{}, 0, err
+		}
+		if r.Col, err = d.string(); err != nil {
+			return Request{}, 0, err
+		}
+		if r.Kind, err = d.byte(); err != nil {
+			return Request{}, 0, err
+		}
+		order, err := d.uvarint()
+		if err != nil {
+			return Request{}, 0, err
+		}
+		if order > math.MaxUint32 {
+			return Request{}, 0, fmt.Errorf("%w: index order out of range", ErrCorrupt)
+		}
+		r.Order = uint32(order)
+	case OpInsert:
+		if r.Rel, err = d.string(); err != nil {
+			return Request{}, 0, err
+		}
+		if r.Vals, err = d.vals(); err != nil {
+			return Request{}, 0, err
+		}
+	case OpGet, OpDelete:
+		if r.Rel, err = d.string(); err != nil {
+			return Request{}, 0, err
+		}
+		if r.Addr, err = d.row(); err != nil {
+			return Request{}, 0, err
+		}
+	case OpUpdate:
+		if r.Rel, err = d.string(); err != nil {
+			return Request{}, 0, err
+		}
+		if r.Addr, err = d.row(); err != nil {
+			return Request{}, 0, err
+		}
+		if r.Cols, err = d.cols(); err != nil {
+			return Request{}, 0, err
+		}
+		if r.Vals, err = d.vals(); err != nil {
+			return Request{}, 0, err
+		}
+	case OpLookup:
+		if r.Rel, err = d.string(); err != nil {
+			return Request{}, 0, err
+		}
+		if r.Idx, err = d.string(); err != nil {
+			return Request{}, 0, err
+		}
+		if r.Vals, err = d.vals(); err != nil {
+			return Request{}, 0, err
+		}
+	case OpScan:
+		if r.Rel, err = d.string(); err != nil {
+			return Request{}, 0, err
+		}
+		limit, err := d.uvarint()
+		if err != nil {
+			return Request{}, 0, err
+		}
+		if limit > MaxRows {
+			limit = MaxRows
+		}
+		r.Limit = uint32(limit)
+	case OpSchema:
+		if r.Rel, err = d.string(); err != nil {
+			return Request{}, 0, err
+		}
+	case OpDebitCredit:
+		var v uint64
+		if v, err = d.uvarint(); err != nil {
+			return Request{}, 0, err
+		}
+		r.Account = int64(v)
+		if v, err = d.uvarint(); err != nil {
+			return Request{}, 0, err
+		}
+		r.Teller = int64(v)
+		if v, err = d.uvarint(); err != nil {
+			return Request{}, 0, err
+		}
+		r.Branch = int64(v)
+		if v, err = d.uvarint(); err != nil {
+			return Request{}, 0, err
+		}
+		r.Delta = math.Float64frombits(v)
+		if r.Seq, err = d.uvarint(); err != nil {
+			return Request{}, 0, err
+		}
+	}
+	if err := d.done(); err != nil {
+		return Request{}, 0, err
+	}
+	return r, n, nil
+}
+
+// DecodeResponse parses one framed response from the front of buf,
+// returning the response and the bytes consumed. Error semantics match
+// DecodeRequest.
+func DecodeResponse(buf []byte) (Response, int, error) {
+	payload, n, err := frame(buf)
+	if err != nil {
+		return Response{}, 0, err
+	}
+	var r Response
+	d := &reader{buf: payload}
+	if r.ID, err = d.uvarint(); err != nil {
+		return Response{}, 0, err
+	}
+	st, err := d.byte()
+	if err != nil {
+		return Response{}, 0, err
+	}
+	r.Status = Status(st)
+	if !r.Status.Valid() {
+		return Response{}, 0, fmt.Errorf("%w: bad status %d", ErrCorrupt, st)
+	}
+	if r.Status != StatusOK {
+		if r.Msg, err = d.string(); err != nil {
+			return Response{}, 0, err
+		}
+		if err := d.done(); err != nil {
+			return Response{}, 0, err
+		}
+		return r, n, nil
+	}
+	if r.Addr, err = d.row(); err != nil {
+		return Response{}, 0, err
+	}
+	if r.Tuple, err = d.vals(); err != nil {
+		return Response{}, 0, err
+	}
+	nrows, err := d.uvarint()
+	if err != nil {
+		return Response{}, 0, err
+	}
+	if nrows > MaxRows {
+		return Response{}, 0, fmt.Errorf("%w: %d rows exceeds cap", ErrCorrupt, nrows)
+	}
+	for i := uint64(0); i < nrows; i++ {
+		var rt RowTuple
+		if rt.Addr, err = d.row(); err != nil {
+			return Response{}, 0, err
+		}
+		if rt.Tuple, err = d.vals(); err != nil {
+			return Response{}, 0, err
+		}
+		r.Rows = append(r.Rows, rt)
+	}
+	if r.Schema, err = d.cols(); err != nil {
+		return Response{}, 0, err
+	}
+	if r.Seq, err = d.uvarint(); err != nil {
+		return Response{}, 0, err
+	}
+	v, err := d.uvarint()
+	if err != nil {
+		return Response{}, 0, err
+	}
+	r.Val = math.Float64frombits(v)
+	if r.N, err = d.uvarint(); err != nil {
+		return Response{}, 0, err
+	}
+	if r.Blob, err = d.bytes(); err != nil {
+		return Response{}, 0, err
+	}
+	if err := d.done(); err != nil {
+		return Response{}, 0, err
+	}
+	return r, n, nil
+}

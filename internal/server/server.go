@@ -1,0 +1,861 @@
+// Package server is the mmdb network front-end: a TCP server speaking
+// the length-prefixed binary protocol of internal/server/proto, built
+// so thousands of connections multiplex onto a small executor pool.
+//
+// Architecture (docs/NETWORK.md has the full spec):
+//
+//   - Each connection gets exactly two goroutines — a reader and a
+//     writer — so connection count scales to thousands without a
+//     per-request goroutine explosion.
+//   - The reader decodes pipelined frames and submits them to one
+//     bounded request queue shared by all connections. When the queue
+//     is full the reader blocks, which stops reading the socket, which
+//     fills the kernel receive buffer, which stalls the client's
+//     writes: backpressure propagates to the client with no explicit
+//     flow-control frames.
+//   - A fixed pool of executor goroutines drains the queue and runs
+//     each request as one transaction against the DB. Because a few
+//     executors carry every connection's traffic, their commits batch
+//     naturally into the epoch group-commit path (PR 5).
+//   - Responses travel back through a per-connection channel; the
+//     writer coalesces whatever has accumulated into one socket write,
+//     so pipelined responses share syscalls. Responses may be written
+//     in any order — the request ID is the only correlation.
+//
+// The server owns its DB handle: OpCrash crashes and recovers the
+// database in place (the recovered instance replaces the old one), and
+// Close() drains in-flight requests, rejects late frames with a typed
+// StatusShutdown, and shuts the DB down after the background sweep has
+// settled.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmdb"
+	"mmdb/internal/metrics"
+	"mmdb/internal/server/proto"
+	"mmdb/internal/trace"
+)
+
+// Config tunes the front-end.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral
+	// test port).
+	Addr string
+	// Workers is the executor pool size. Default 8.
+	Workers int
+	// Queue is the shared request-queue depth; a full queue blocks
+	// readers (backpressure). Default 1024.
+	Queue int
+	// OutDepth is the per-connection response-channel depth. Default 64.
+	OutDepth int
+}
+
+func (c *Config) fill() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Queue <= 0 {
+		c.Queue = 1024
+	}
+	if c.OutDepth <= 0 {
+		c.OutDepth = 64
+	}
+}
+
+// ErrClosed is returned by Close on a server already closed.
+var ErrClosed = errors.New("server: already closed")
+
+// task is one decoded request bound to its connection.
+type task struct {
+	c   *conn
+	req proto.Request
+}
+
+// Server is one listening front-end over one DB instance.
+type Server struct {
+	cfg   Config
+	dbCfg mmdb.Config
+	lis   net.Listener
+
+	// dbMu guards the db pointer; executors hold it shared for the
+	// duration of a request so OpCrash can swap in the recovered
+	// instance without racing in-flight transactions.
+	dbMu       sync.RWMutex
+	db         *mmdb.DB
+	recovering atomic.Bool
+
+	// submitMu makes "check draining, register in-flight" atomic
+	// against Close flipping draining: a reader holds it shared around
+	// the check+Add so Close's inflight.Wait can never miss a request.
+	submitMu sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	reqCh chan task
+
+	connMu sync.Mutex
+	conns  map[uint64]*conn
+	nextID atomic.Uint64
+
+	wg       sync.WaitGroup // executors
+	acceptWg sync.WaitGroup // accept loop
+	connWg   sync.WaitGroup // per-connection readers and writers
+	closed   atomic.Bool
+
+	// Server-side observability lives in its own registry (the DB's
+	// registry dies with each crash+recover cycle; the server's spans
+	// them).
+	reg        *metrics.Registry
+	mAccepted  *metrics.Counter
+	mConns     *metrics.Gauge
+	mRequests  *metrics.Counter
+	mCorrupt   *metrics.Counter
+	mShutdown  *metrics.Counter
+	mRecovery  *metrics.Counter
+	mCrashes   *metrics.Counter
+	mQueue     *metrics.Gauge
+	mInflight  *metrics.Gauge
+	mBytesIn   *metrics.Counter
+	mBytesOut  *metrics.Counter
+	mFlushes   *metrics.Counter
+	mFlushSize *metrics.Histogram
+	mOpLat     [proto.NumOps]*metrics.Histogram
+}
+
+// New wraps db in a listening server. dbCfg must be the Config db was
+// opened with: OpCrash passes it to mmdb.Recover. The server owns db
+// from here on — Close() closes the current (possibly recovered)
+// instance.
+func New(db *mmdb.DB, dbCfg mmdb.Config, cfg Config) (*Server, error) {
+	cfg.fill()
+	lis, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		dbCfg: dbCfg,
+		lis:   lis,
+		db:    db,
+		reqCh: make(chan task, cfg.Queue),
+		conns: make(map[uint64]*conn),
+		reg:   metrics.NewRegistry(),
+	}
+	sub := s.reg.Subsystem("server")
+	s.mAccepted = sub.Counter("connections_accepted", "conns", "connections accepted since start")
+	s.mConns = sub.Gauge("connections_open", "conns", "currently open connections")
+	s.mRequests = sub.Counter("requests", "frames", "request frames decoded")
+	s.mCorrupt = sub.Counter("corrupt_frames", "frames", "connections dropped for corrupt frames")
+	s.mShutdown = sub.Counter("rejected_shutdown", "frames", "requests rejected with StatusShutdown while draining")
+	s.mRecovery = sub.Counter("rejected_recovering", "frames", "requests rejected with StatusRecovering during restart")
+	s.mCrashes = sub.Counter("crash_recover_cycles", "cycles", "remote OpCrash crash+recover cycles served")
+	s.mQueue = sub.Gauge("queue_depth", "requests", "requests waiting in the shared executor queue")
+	s.mInflight = sub.Gauge("inflight", "requests", "requests submitted but not yet answered")
+	s.mBytesIn = sub.Counter("bytes_in", "bytes", "request bytes read")
+	s.mBytesOut = sub.Counter("bytes_out", "bytes", "response bytes written")
+	s.mFlushes = sub.Counter("flushes", "writes", "writer-side socket writes (each may carry many frames)")
+	s.mFlushSize = sub.Histogram("flush_bytes", "bytes", "bytes per writer-side socket write")
+	for op := proto.Op(1); int(op) < proto.NumOps; op++ {
+		s.mOpLat[op] = sub.Histogram("latency_"+op.String(), "ns", "executor latency of "+op.String()+" requests")
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.acceptWg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// DB returns the current database instance (it changes across remote
+// crash+recover cycles).
+func (s *Server) DB() *mmdb.DB {
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	return s.db
+}
+
+// Metrics snapshots the server's own registry (subsystem "server").
+func (s *Server) Metrics() metrics.Snapshot { return s.reg.Snapshot() }
+
+// tracer returns the current DB's tracer; nil (a no-op sink) when
+// tracing is disabled.
+func (s *Server) tracer() *trace.Tracer {
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	if s.db == nil {
+		return nil
+	}
+	return s.db.Manager().Tracer()
+}
+
+// Close drains and shuts down: stop accepting, reject new frames with
+// StatusShutdown, wait for every submitted request to execute, flush
+// every connection's pending responses, then stop the executors and
+// close the database (waiting out the background recovery sweep).
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	_ = s.lis.Close()
+	// No connection can register after this: the conns snapshot below
+	// is complete.
+	s.acceptWg.Wait()
+
+	s.submitMu.Lock()
+	s.draining = true
+	s.submitMu.Unlock()
+
+	// Every request that passed the draining check is now counted in
+	// inflight; wait for the executors to finish them all.
+	s.inflight.Wait()
+
+	// Flush and close every connection: writers drain their response
+	// channels before the sockets close, so a client that stops
+	// sending receives every ack for work it had in flight.
+	s.connMu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.connMu.Unlock()
+	for _, c := range conns {
+		c.beginFlush()
+	}
+	s.connWg.Wait()
+
+	close(s.reqCh)
+	s.wg.Wait()
+
+	s.dbMu.Lock()
+	db := s.db
+	s.db = nil
+	s.dbMu.Unlock()
+	if db == nil {
+		return nil
+	}
+	// WaitIdle settles the recovery component — including a background
+	// sweep still restoring partitions after a remote crash — before
+	// the final Close tears it down.
+	db.WaitIdle()
+	return db.Close()
+}
+
+// ---------------------------------------------------------------------
+// Connections.
+// ---------------------------------------------------------------------
+
+// conn is one client connection: a reader goroutine decoding pipelined
+// frames and a writer goroutine coalescing responses.
+type conn struct {
+	id  uint64
+	nc  net.Conn
+	out chan proto.Response
+
+	done      chan struct{} // closed exactly once when the conn dies
+	flushReq  chan struct{} // closed by Close(): writer drains then exits
+	closeOnce sync.Once
+	flushOnce sync.Once
+	served    atomic.Uint64
+}
+
+func (c *conn) close() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		_ = c.nc.Close()
+	})
+}
+
+func (c *conn) beginFlush() {
+	c.flushOnce.Do(func() { close(c.flushReq) })
+}
+
+// send delivers a response to the writer, giving up if the connection
+// died (the response is dropped; the client is gone).
+func (c *conn) send(r proto.Response) {
+	select {
+	case c.out <- r:
+	case <-c.done:
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWg.Done()
+	for {
+		nc, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		id := s.nextID.Add(1)
+		c := &conn{
+			id:       id,
+			nc:       nc,
+			out:      make(chan proto.Response, s.cfg.OutDepth),
+			done:     make(chan struct{}),
+			flushReq: make(chan struct{}),
+		}
+		s.connMu.Lock()
+		s.conns[id] = c
+		s.connMu.Unlock()
+		s.mAccepted.Inc()
+		s.mConns.Add(1)
+		s.tracer().Emit(trace.Event{Kind: trace.KindNetAccept, Arg: id})
+		s.connWg.Add(2)
+		go s.readLoop(c)
+		go s.writeLoop(c)
+	}
+}
+
+func (s *Server) dropConn(c *conn) {
+	c.close()
+	s.connMu.Lock()
+	_, live := s.conns[c.id]
+	delete(s.conns, c.id)
+	s.connMu.Unlock()
+	if live {
+		s.mConns.Add(-1)
+		s.tracer().Emit(trace.Event{Kind: trace.KindNetClose, Arg: c.id, Arg2: c.served.Load()})
+	}
+}
+
+// readLoop decodes pipelined request frames off the socket. ErrShort
+// waits for more bytes; ErrCorrupt poisons the connection.
+func (s *Server) readLoop(c *conn) {
+	defer s.connWg.Done()
+	defer s.dropConn(c)
+	buf := make([]byte, 0, 16<<10)
+	tmp := make([]byte, 32<<10)
+	start := 0
+	for {
+		for {
+			req, n, err := proto.DecodeRequest(buf[start:])
+			if errors.Is(err, proto.ErrShort) {
+				break
+			}
+			if err != nil {
+				s.mCorrupt.Inc()
+				return
+			}
+			start += n
+			s.mRequests.Inc()
+			if !s.submit(c, req) {
+				return
+			}
+		}
+		if start > 0 {
+			buf = append(buf[:0], buf[start:]...)
+			start = 0
+		}
+		n, err := c.nc.Read(tmp)
+		if n > 0 {
+			s.mBytesIn.Add(int64(n))
+			buf = append(buf, tmp[:n]...)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// submit queues one request for execution, or rejects it with a typed
+// error while the server drains. Returns false when the connection died
+// while the queue was full.
+func (s *Server) submit(c *conn, req proto.Request) bool {
+	s.submitMu.RLock()
+	if s.draining {
+		s.submitMu.RUnlock()
+		s.mShutdown.Inc()
+		c.send(proto.Response{ID: req.ID, Status: proto.StatusShutdown, Msg: "server draining"})
+		return true // keep reading: every late frame gets its typed rejection
+	}
+	s.inflight.Add(1)
+	s.submitMu.RUnlock()
+
+	s.mInflight.Add(1)
+	select {
+	case s.reqCh <- task{c: c, req: req}:
+		s.mQueue.Add(1)
+		return true
+	case <-c.done:
+		s.mInflight.Add(-1)
+		s.inflight.Done()
+		return false
+	}
+}
+
+// writeLoop coalesces queued responses into batched socket writes.
+func (s *Server) writeLoop(c *conn) {
+	defer s.connWg.Done()
+	defer s.dropConn(c)
+	const flushCap = 64 << 10
+	buf := make([]byte, 0, flushCap)
+	for {
+		var r proto.Response
+		select {
+		case r = <-c.out:
+		case <-c.done:
+			return
+		case <-c.flushReq:
+			// Shutdown flush: everything executed is already queued
+			// (Close waited for in-flight work first); drain it, write,
+			// and end the connection.
+			n := 0
+			for {
+				select {
+				case r := <-c.out:
+					buf = proto.AppendResponse(buf, &r)
+					n++
+				default:
+					if len(buf) > 0 {
+						s.flush(c, buf, n)
+					}
+					return
+				}
+			}
+		}
+		buf = proto.AppendResponse(buf[:0], &r)
+		n := 1
+		// Opportunistically coalesce whatever else has accumulated.
+	drain:
+		for len(buf) < flushCap {
+			select {
+			case r2 := <-c.out:
+				buf = proto.AppendResponse(buf, &r2)
+				n++
+			default:
+				break drain
+			}
+		}
+		if !s.flush(c, buf, n) {
+			return
+		}
+		c.served.Add(uint64(n))
+	}
+}
+
+// flush writes one coalesced batch of n frames; false means the
+// connection is dead.
+func (s *Server) flush(c *conn, buf []byte, n int) bool {
+	if _, err := c.nc.Write(buf); err != nil {
+		return false
+	}
+	s.mBytesOut.Add(int64(len(buf)))
+	s.mFlushes.Inc()
+	s.mFlushSize.Observe(int64(len(buf)))
+	s.tracer().Emit(trace.Event{Kind: trace.KindNetFlush, Arg: c.id, Arg2: uint64(n), LSN: uint64(len(buf))})
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Executors.
+// ---------------------------------------------------------------------
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for t := range s.reqCh {
+		s.mQueue.Add(-1)
+		s.tracer().Emit(trace.Event{Kind: trace.KindNetDispatch, Arg: t.c.id, Arg2: uint64(t.req.Op), Txn: t.req.ID})
+		start := time.Now()
+		resp := s.execute(&t.req)
+		if h := s.mOpLat[t.req.Op]; h != nil {
+			h.Observe(time.Since(start).Nanoseconds())
+		}
+		resp.ID = t.req.ID
+		t.c.send(resp)
+		s.mInflight.Add(-1)
+		s.inflight.Done()
+	}
+}
+
+// execute runs one request to a response. OpCrash is the only request
+// that takes the db lock exclusively; everything else executes under a
+// shared hold so the instance cannot be swapped mid-transaction.
+func (s *Server) execute(req *proto.Request) proto.Response {
+	if req.Op == proto.OpCrash {
+		return s.crashRecover()
+	}
+	// Typed fast rejection while a crash+recover cycle runs: the client
+	// learns immediately (and measurably — the load rig times this)
+	// that the request was not executed, instead of blocking.
+	if s.recovering.Load() {
+		s.mRecovery.Inc()
+		return proto.Response{Status: proto.StatusRecovering, Msg: "restart in progress"}
+	}
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	if s.db == nil {
+		return proto.Response{Status: proto.StatusShutdown, Msg: "server closed"}
+	}
+	return s.handle(s.db, req)
+}
+
+// crashRecover serves OpCrash: halt the simulated machine, lose every
+// volatile structure, and rebuild from the crash-surviving hardware —
+// §2.5 restart while the server keeps answering (with typed
+// StatusRecovering rejections) on every connection.
+func (s *Server) crashRecover() proto.Response {
+	if !s.recovering.CompareAndSwap(false, true) {
+		s.mRecovery.Inc()
+		return proto.Response{Status: proto.StatusRecovering, Msg: "restart already in progress"}
+	}
+	defer s.recovering.Store(false)
+	start := time.Now()
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	if s.db == nil {
+		return proto.Response{Status: proto.StatusShutdown, Msg: "server closed"}
+	}
+	hw := s.db.Crash()
+	s.dbCfg.FaultInjector.ClearCrash() // power the simulated machine back on
+	db, err := mmdb.Recover(hw, s.dbCfg)
+	if err != nil {
+		// The database is gone and could not be rebuilt; leave db nil
+		// so every later request gets a clean typed error instead of a
+		// crash loop.
+		s.db = nil
+		return proto.Response{Status: proto.StatusError, Msg: "recover failed: " + err.Error()}
+	}
+	s.db = db
+	s.mCrashes.Inc()
+	return proto.Response{Status: proto.StatusOK, N: uint64(time.Since(start).Microseconds())}
+}
+
+// ---------------------------------------------------------------------
+// Request handlers.
+// ---------------------------------------------------------------------
+
+// statusOf maps an mmdb error to a wire status.
+func statusOf(err error) proto.Status {
+	switch {
+	case errors.Is(err, mmdb.ErrNotFound):
+		return proto.StatusNotFound
+	case errors.Is(err, mmdb.ErrExists):
+		return proto.StatusExists
+	case errors.Is(err, mmdb.ErrDeadlock):
+		return proto.StatusDeadlock
+	case errors.Is(err, mmdb.ErrClosed):
+		return proto.StatusRecovering
+	}
+	return proto.StatusError
+}
+
+func fail(err error) proto.Response {
+	return proto.Response{Status: statusOf(err), Msg: err.Error()}
+}
+
+func badRequest(msg string) proto.Response {
+	return proto.Response{Status: proto.StatusBadRequest, Msg: msg}
+}
+
+// deadlockRetries bounds transparent retries of deadlocked
+// transactions before the typed StatusDeadlock reaches the client.
+const deadlockRetries = 8
+
+// withTxn runs fn in a transaction, committing on success and retrying
+// the whole transaction on deadlock. fn must rebuild all state on each
+// attempt.
+func withTxn(db *mmdb.DB, fn func(tx *mmdb.Txn) error) error {
+	var err error
+	for attempt := 0; attempt < deadlockRetries; attempt++ {
+		tx := db.Begin()
+		err = fn(tx)
+		if err == nil {
+			if err = tx.Commit(); err == nil {
+				return nil
+			}
+		}
+		_ = tx.Abort()
+		if !errors.Is(err, mmdb.ErrDeadlock) {
+			return err
+		}
+	}
+	return err
+}
+
+func wireRow(id mmdb.RowID) proto.Row {
+	return proto.Row{Seg: uint32(id.Segment), Part: uint32(id.Part), Slot: uint16(id.Slot)}
+}
+
+func rowID(r proto.Row) mmdb.RowID {
+	return mmdb.NewRowID(r.Seg, r.Part, r.Slot)
+}
+
+func (s *Server) handle(db *mmdb.DB, req *proto.Request) proto.Response {
+	switch req.Op {
+	case proto.OpPing:
+		return proto.Response{Status: proto.StatusOK}
+
+	case proto.OpCreateRel:
+		if len(req.Cols) == 0 {
+			return badRequest("create-rel: empty schema")
+		}
+		schema := make(mmdb.Schema, len(req.Cols))
+		for i, c := range req.Cols {
+			schema[i] = mmdb.Column{Name: c.Name, Type: mmdb.ColType(c.Type)}
+		}
+		if _, err := db.CreateRelation(req.Rel, schema); err != nil {
+			return fail(err)
+		}
+		return proto.Response{Status: proto.StatusOK}
+
+	case proto.OpCreateIndex:
+		rel, err := db.GetRelation(req.Rel)
+		if err != nil {
+			return fail(err)
+		}
+		kind := mmdb.IndexKind(req.Kind)
+		if kind != mmdb.KindTTree && kind != mmdb.KindLinHash {
+			return badRequest(fmt.Sprintf("create-index: unknown kind %d", req.Kind))
+		}
+		if _, err := db.CreateIndex(rel, req.Idx, req.Col, kind, int(req.Order)); err != nil {
+			return fail(err)
+		}
+		return proto.Response{Status: proto.StatusOK}
+
+	case proto.OpInsert:
+		rel, err := db.GetRelation(req.Rel)
+		if err != nil {
+			return fail(err)
+		}
+		var addr mmdb.RowID
+		err = withTxn(db, func(tx *mmdb.Txn) error {
+			addr, err = tx.Insert(rel, mmdb.Tuple(req.Vals))
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return proto.Response{Status: proto.StatusOK, Addr: wireRow(addr)}
+
+	case proto.OpGet:
+		rel, err := db.GetRelation(req.Rel)
+		if err != nil {
+			return fail(err)
+		}
+		var tup mmdb.Tuple
+		err = withTxn(db, func(tx *mmdb.Txn) error {
+			tup, err = tx.Get(rel, rowID(req.Addr))
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return proto.Response{Status: proto.StatusOK, Tuple: tup}
+
+	case proto.OpUpdate:
+		rel, err := db.GetRelation(req.Rel)
+		if err != nil {
+			return fail(err)
+		}
+		if len(req.Cols) == 0 || len(req.Cols) != len(req.Vals) {
+			return badRequest("update: column/value mismatch")
+		}
+		changes := make(map[string]any, len(req.Cols))
+		for i, c := range req.Cols {
+			changes[c.Name] = req.Vals[i]
+		}
+		err = withTxn(db, func(tx *mmdb.Txn) error {
+			return tx.Update(rel, rowID(req.Addr), changes)
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return proto.Response{Status: proto.StatusOK}
+
+	case proto.OpDelete:
+		rel, err := db.GetRelation(req.Rel)
+		if err != nil {
+			return fail(err)
+		}
+		err = withTxn(db, func(tx *mmdb.Txn) error {
+			return tx.Delete(rel, rowID(req.Addr))
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return proto.Response{Status: proto.StatusOK}
+
+	case proto.OpLookup:
+		rel, err := db.GetRelation(req.Rel)
+		if err != nil {
+			return fail(err)
+		}
+		idx := rel.Index(req.Idx)
+		if idx == nil {
+			return fail(fmt.Errorf("%w: index %q", mmdb.ErrNotFound, req.Idx))
+		}
+		if len(req.Vals) != 1 {
+			return badRequest("lookup: want exactly one key")
+		}
+		var rows []proto.RowTuple
+		err = withTxn(db, func(tx *mmdb.Txn) error {
+			rows = rows[:0]
+			return tx.IndexLookup(idx, req.Vals[0], func(id mmdb.RowID, tup mmdb.Tuple) bool {
+				rows = append(rows, proto.RowTuple{Addr: wireRow(id), Tuple: tup})
+				return len(rows) < proto.MaxRows
+			})
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return proto.Response{Status: proto.StatusOK, Rows: rows, N: uint64(len(rows))}
+
+	case proto.OpScan:
+		rel, err := db.GetRelation(req.Rel)
+		if err != nil {
+			return fail(err)
+		}
+		limit := int(req.Limit)
+		if limit <= 0 || limit > proto.MaxRows {
+			limit = proto.MaxRows
+		}
+		var rows []proto.RowTuple
+		err = withTxn(db, func(tx *mmdb.Txn) error {
+			rows = rows[:0]
+			return tx.Scan(rel, func(id mmdb.RowID, tup mmdb.Tuple) bool {
+				rows = append(rows, proto.RowTuple{Addr: wireRow(id), Tuple: tup})
+				return len(rows) < limit
+			})
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return proto.Response{Status: proto.StatusOK, Rows: rows, N: uint64(len(rows))}
+
+	case proto.OpSchema:
+		rel, err := db.GetRelation(req.Rel)
+		if err != nil {
+			return fail(err)
+		}
+		schema := rel.Schema()
+		cols := make([]proto.Col, len(schema))
+		for i, c := range schema {
+			cols[i] = proto.Col{Name: c.Name, Type: byte(c.Type)}
+		}
+		return proto.Response{Status: proto.StatusOK, Schema: cols}
+
+	case proto.OpDebitCredit:
+		return s.debitCredit(db, req)
+
+	case proto.OpMetrics:
+		// One snapshot spanning the DB's registry (dies with each crash
+		// cycle) and the server's own (spans them).
+		snap := db.Metrics()
+		snap.Subsystems = append(snap.Subsystems, s.reg.Snapshot().Subsystems...)
+		blob, err := json.Marshal(snap)
+		if err != nil {
+			return fail(err)
+		}
+		return proto.Response{Status: proto.StatusOK, Blob: blob}
+	}
+	return badRequest("unhandled opcode " + req.Op.String())
+}
+
+// debitCredit is the composite Gray-style transaction: move Delta
+// through an account, its teller and branch, and append a history row —
+// four record touches, one commit, one round trip. The relations are
+// the load-rig schema documented in docs/NETWORK.md; each must carry a
+// "pk" index on its id column.
+//
+// The account row stores max(stored seq, request seq): concurrent
+// transactions on one account may commit out of submission order, and
+// the max keeps the stored sequence from regressing below any number
+// the server already acknowledged — the invariant the load rig's
+// client-side ack log checks after a crash.
+func (s *Server) debitCredit(db *mmdb.DB, req *proto.Request) proto.Response {
+	accounts, err := db.GetRelation("accounts")
+	if err != nil {
+		return fail(err)
+	}
+	tellers, err := db.GetRelation("tellers")
+	if err != nil {
+		return fail(err)
+	}
+	branches, err := db.GetRelation("branches")
+	if err != nil {
+		return fail(err)
+	}
+	history, err := db.GetRelation("history")
+	if err != nil {
+		return fail(err)
+	}
+	accPK := accounts.Index("pk")
+	telPK := tellers.Index("pk")
+	brPK := branches.Index("pk")
+	if accPK == nil || telPK == nil || brPK == nil {
+		return fail(fmt.Errorf("%w: debit-credit pk indexes", mmdb.ErrNotFound))
+	}
+
+	findOne := func(tx *mmdb.Txn, idx *mmdb.Index, key int64) (mmdb.RowID, mmdb.Tuple, error) {
+		var id mmdb.RowID
+		var tup mmdb.Tuple
+		found := false
+		err := tx.IndexLookup(idx, key, func(i mmdb.RowID, t mmdb.Tuple) bool {
+			id, tup, found = i, t, true
+			return false
+		})
+		if err != nil {
+			return id, nil, err
+		}
+		if !found {
+			return id, nil, fmt.Errorf("%w: %s %d", mmdb.ErrNotFound, idx.Relation().Name(), key)
+		}
+		return id, tup, nil
+	}
+
+	var newBal float64
+	var newSeq uint64
+	err = withTxn(db, func(tx *mmdb.Txn) error {
+		accID, accTup, err := findOne(tx, accPK, req.Account)
+		if err != nil {
+			return err
+		}
+		bal, _ := accTup[1].(float64)
+		stored, _ := accTup[2].(int64)
+		newBal = bal + req.Delta
+		newSeq = req.Seq
+		if uint64(stored) > newSeq {
+			newSeq = uint64(stored)
+		}
+		if err := tx.Update(accounts, accID, map[string]any{"bal": newBal, "seq": int64(newSeq)}); err != nil {
+			return err
+		}
+		telID, telTup, err := findOne(tx, telPK, req.Teller)
+		if err != nil {
+			return err
+		}
+		tbal, _ := telTup[1].(float64)
+		if err := tx.Update(tellers, telID, map[string]any{"bal": tbal + req.Delta}); err != nil {
+			return err
+		}
+		brID, brTup, err := findOne(tx, brPK, req.Branch)
+		if err != nil {
+			return err
+		}
+		bbal, _ := brTup[1].(float64)
+		if err := tx.Update(branches, brID, map[string]any{"bal": bbal + req.Delta}); err != nil {
+			return err
+		}
+		_, err = tx.Insert(history, mmdb.Tuple{req.Account, req.Teller, req.Branch, req.Delta})
+		return err
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return proto.Response{Status: proto.StatusOK, Seq: newSeq, Val: newBal}
+}

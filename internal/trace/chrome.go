@@ -31,7 +31,7 @@ type chromeFile struct {
 }
 
 // laneOrder fixes lane numbering so exports are stable across runs.
-var laneOrder = []string{"txn", "lock", "slb", "log", "checkpoint", "restart", "fault"}
+var laneOrder = []string{"txn", "lock", "slb", "log", "checkpoint", "restart", "fault", "server"}
 
 // spanStart describes which kinds open a span and which close it.
 var spanEnd = map[Kind][]Kind{

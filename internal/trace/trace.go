@@ -111,6 +111,18 @@ const (
 	KindEpochSeal
 	KindEpochRollback
 
+	// Network front-end (internal/server). NetAccept/NetClose bracket a
+	// connection's lifetime (Arg = connection ID; NetClose's Arg2 = total
+	// requests served on it). NetDispatch is one request leaving the
+	// bounded queue for an executor (Arg = connection ID, Arg2 = opcode,
+	// Txn = wire request ID). NetFlush is one writer-side batch flushed
+	// to the socket (Arg = connection ID, Arg2 = frames in the batch,
+	// LSN = bytes written).
+	KindNetAccept
+	KindNetClose
+	KindNetDispatch
+	KindNetFlush
+
 	kindMax
 )
 
@@ -140,6 +152,10 @@ var kindNames = [...]string{
 	KindStreamSeal:       "stream-seal",
 	KindEpochSeal:        "epoch-seal",
 	KindEpochRollback:    "epoch-rollback",
+	KindNetAccept:        "net-accept",
+	KindNetClose:         "net-close",
+	KindNetDispatch:      "net-dispatch",
+	KindNetFlush:         "net-flush",
 }
 
 func (k Kind) String() string {
@@ -171,6 +187,8 @@ func (k Kind) Subsystem() string {
 		return "restart"
 	case KindFaultTrigger:
 		return "fault"
+	case KindNetAccept, KindNetClose, KindNetDispatch, KindNetFlush:
+		return "server"
 	}
 	return "unknown"
 }

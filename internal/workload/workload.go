@@ -8,6 +8,7 @@ package workload
 
 import (
 	"math/rand"
+	"time"
 
 	"mmdb/internal/addr"
 	"mmdb/internal/wal"
@@ -128,6 +129,46 @@ func Mixed(accounts KeyDist, rng *rand.Rand, n int, insertPct, updatePct, delete
 		ops[i] = Op{Kind: k, Account: accounts.Next(), Delta: float64(rng.Intn(100))}
 	}
 	return ops
+}
+
+// Arrivals generates an open-loop arrival schedule: exponential
+// inter-arrival gaps around a base rate, periodically multiplied by a
+// burst factor. Open-loop means the schedule is fixed up front —
+// arrivals do not wait for earlier requests to complete, so a slow
+// server accumulates backlog instead of silently throttling the
+// offered load (the coordinated-omission trap closed-loop drivers
+// fall into).
+type Arrivals struct {
+	// Rate is the mean arrival rate per second in the calm phase.
+	Rate float64
+	// Burst multiplies the rate during burst windows; <= 1 disables
+	// bursts.
+	Burst float64
+	// BurstEvery is the burst cycle period; a burst starts at each
+	// multiple. Zero disables bursts.
+	BurstEvery time.Duration
+	// BurstLen is how long each burst lasts within its cycle.
+	BurstLen time.Duration
+	// Rng drives the exponential gaps.
+	Rng *rand.Rand
+}
+
+// Schedule returns n arrival offsets from time zero, nondecreasing.
+func (a Arrivals) Schedule(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	t := 0.0 // seconds
+	for i := range out {
+		rate := a.Rate
+		if a.Burst > 1 && a.BurstEvery > 0 && a.BurstLen > 0 {
+			phase := time.Duration(t * float64(time.Second)) % a.BurstEvery
+			if phase < a.BurstLen {
+				rate *= a.Burst
+			}
+		}
+		t += a.Rng.ExpFloat64() / rate
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out
 }
 
 // RecordStream generates raw REDO records for the logging-capacity

@@ -3,6 +3,7 @@ package workload
 import (
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func TestUniformBounds(t *testing.T) {
@@ -122,5 +123,47 @@ func TestRecordStream(t *testing.T) {
 		if n != 4 {
 			t.Fatalf("txn %d has %d records", id, n)
 		}
+	}
+}
+
+func TestArrivalsSchedule(t *testing.T) {
+	a := Arrivals{Rate: 10000, Rng: rand.New(rand.NewSource(7))}
+	sched := a.Schedule(10000)
+	if len(sched) != 10000 {
+		t.Fatalf("%d arrivals", len(sched))
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i] < sched[i-1] {
+			t.Fatalf("arrival %d before %d", i, i-1)
+		}
+	}
+	// 10k arrivals at 10k/s should take about a second.
+	total := sched[len(sched)-1].Seconds()
+	if total < 0.8 || total > 1.25 {
+		t.Fatalf("10k arrivals at 10k/s spanned %.2fs", total)
+	}
+}
+
+func TestArrivalsBursts(t *testing.T) {
+	a := Arrivals{
+		Rate:       1000,
+		Burst:      8,
+		BurstEvery: 100 * time.Millisecond,
+		BurstLen:   20 * time.Millisecond,
+		Rng:        rand.New(rand.NewSource(7)),
+	}
+	sched := a.Schedule(20000)
+	inBurst, calm := 0, 0
+	for _, at := range sched {
+		if at%a.BurstEvery < a.BurstLen {
+			inBurst++
+		} else {
+			calm++
+		}
+	}
+	// Burst windows are 20% of wall time but run 8x the rate: they
+	// should hold well over half the arrivals (8*20 / (8*20+80) = 2/3).
+	if frac := float64(inBurst) / float64(len(sched)); frac < 0.5 {
+		t.Fatalf("burst windows hold only %.0f%% of arrivals", 100*frac)
 	}
 }
