@@ -35,6 +35,7 @@ import (
 
 	"mmdb"
 	"mmdb/internal/fault"
+	"mmdb/internal/metrics"
 	"mmdb/internal/server"
 	"mmdb/internal/server/client"
 	"mmdb/internal/server/proto"
@@ -43,25 +44,25 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "", "server address (empty: boot an in-process server)")
-		conns     = flag.Int("conns", 1000, "concurrent client connections")
-		rate      = flag.Float64("rate", 10000, "offered arrivals per second (calm phase)")
-		burst     = flag.Float64("burst", 4, "burst rate multiplier (<=1 disables bursts)")
+		addr       = flag.String("addr", "", "server address (empty: boot an in-process server)")
+		conns      = flag.Int("conns", 1000, "concurrent client connections")
+		rate       = flag.Float64("rate", 10000, "offered arrivals per second (calm phase)")
+		burst      = flag.Float64("burst", 4, "burst rate multiplier (<=1 disables bursts)")
 		burstEvery = flag.Duration("burst-every", 500*time.Millisecond, "burst cycle period")
-		burstLen  = flag.Duration("burst-len", 100*time.Millisecond, "burst duration per cycle")
-		duration  = flag.Duration("duration", 6*time.Second, "offered-load window")
-		crashAt   = flag.Duration("crash-at", 0, "crash+recover the database this long into the run (0 disables)")
-		accounts  = flag.Int64("accounts", 1000, "number of accounts")
-		tellers   = flag.Int64("tellers", 100, "number of tellers")
-		branches  = flag.Int64("branches", 10, "number of branches")
-		dist      = flag.String("dist", "zipf", "account distribution: zipf, hotcold, uniform")
-		zipfS     = flag.Float64("zipf-s", 1.2, "zipf exponent (dist=zipf)")
-		hotFrac   = flag.Float64("hot", 0.1, "hot fraction of accounts (dist=hotcold)")
-		hotProb   = flag.Float64("hot-prob", 0.9, "probability of a hot access (dist=hotcold)")
-		seed      = flag.Int64("seed", 1, "workload RNG seed")
-		setup     = flag.Bool("setup", true, "create the debit-credit schema and rows before the run")
-		report    = flag.String("report", "", "write the JSON report to this file")
-		serverCfg = server.Config{}
+		burstLen   = flag.Duration("burst-len", 100*time.Millisecond, "burst duration per cycle")
+		duration   = flag.Duration("duration", 6*time.Second, "offered-load window")
+		crashAt    = flag.Duration("crash-at", 0, "crash+recover the database this long into the run (0 disables)")
+		accounts   = flag.Int64("accounts", 1000, "number of accounts")
+		tellers    = flag.Int64("tellers", 100, "number of tellers")
+		branches   = flag.Int64("branches", 10, "number of branches")
+		dist       = flag.String("dist", "zipf", "account distribution: zipf, hotcold, uniform")
+		zipfS      = flag.Float64("zipf-s", 1.2, "zipf exponent (dist=zipf)")
+		hotFrac    = flag.Float64("hot", 0.1, "hot fraction of accounts (dist=hotcold)")
+		hotProb    = flag.Float64("hot-prob", 0.9, "probability of a hot access (dist=hotcold)")
+		seed       = flag.Int64("seed", 1, "workload RNG seed")
+		setup      = flag.Bool("setup", true, "create the debit-credit schema and rows before the run")
+		report     = flag.String("report", "", "write the JSON report to this file")
+		serverCfg  = server.Config{}
 	)
 	flag.IntVar(&serverCfg.Workers, "workers", 8, "in-process server executor pool size")
 	flag.IntVar(&serverCfg.Queue, "queue", 2048, "in-process server queue depth")
@@ -140,6 +141,11 @@ func main() {
 
 	// Ack-log verification: every acknowledged commit must be durable.
 	r.Verify = verify(boot, r.acked)
+
+	// Server-side view: scrape the server's metrics (OpMetrics) so the
+	// report pairs the rig's client-observed percentiles with the
+	// executor- and commit-path percentiles the server measured itself.
+	r.Server = scrapeServer(boot)
 
 	printReport(r)
 	if *report != "" {
@@ -261,30 +267,44 @@ type VerifyStats struct {
 	OK              bool  `json:"ok"`
 }
 
+// ServerSideStats are the server's own measurements of the run,
+// scraped over the wire (OpMetrics) after the load drains: executor and
+// commit-path p99s free of client queueing, plus restart facts.
+type ServerSideStats struct {
+	Requests         int64   `json:"requests"`
+	CrashCycles      int64   `json:"crash_recover_cycles"`
+	CommitP99us      float64 `json:"commit_p99_us"`
+	GroupWaitP99us   float64 `json:"group_commit_wait_p99_us"`
+	SLBWriteP99us    float64 `json:"slb_record_write_p99_us"`
+	DebitCreditP99us float64 `json:"debit_credit_exec_p99_us"`
+	TTP99RestoredUS  int64   `json:"ttp99_restored_us,omitempty"`
+}
+
 // Report is the run summary, printed and optionally written as JSON.
 type Report struct {
-	Conns       int           `json:"conns"`
-	Offered     int           `json:"offered"`
-	CommittedOK int64         `json:"committed"`
-	Deadlocks   int64         `json:"deadlocks"`
-	Rejected    int64         `json:"rejected"`
-	Errors      int64         `json:"errors"`
-	Transport   int64         `json:"transport_errors"`
-	WallSec     float64       `json:"wall_s"`
-	Throughput  float64       `json:"committed_per_s"`
-	Pre         LatencyStats  `json:"latency_pre_crash"`
-	Post        LatencyStats  `json:"latency_post_crash,omitempty"`
-	Crash       *CrashStats   `json:"crash,omitempty"`
-	Verify      VerifyStats   `json:"verify"`
+	Conns       int              `json:"conns"`
+	Offered     int              `json:"offered"`
+	CommittedOK int64            `json:"committed"`
+	Deadlocks   int64            `json:"deadlocks"`
+	Rejected    int64            `json:"rejected"`
+	Errors      int64            `json:"errors"`
+	Transport   int64            `json:"transport_errors"`
+	WallSec     float64          `json:"wall_s"`
+	Throughput  float64          `json:"committed_per_s"`
+	Pre         LatencyStats     `json:"latency_pre_crash"`
+	Post        LatencyStats     `json:"latency_post_crash,omitempty"`
+	Crash       *CrashStats      `json:"crash,omitempty"`
+	Verify      VerifyStats      `json:"verify"`
+	Server      *ServerSideStats `json:"server,omitempty"`
 
 	acked *ackLog
 }
 
 // ackLog is the client-side record of acknowledged commits.
 type ackLog struct {
-	count  map[int64]int64  // account -> acknowledged commit count
-	maxSeq map[int64]uint64 // account -> max acknowledged stored seq
-	total  int64
+	count   map[int64]int64  // account -> acknowledged commit count
+	maxSeq  map[int64]uint64 // account -> max acknowledged stored seq
+	total   int64
 	unknown int64
 }
 
@@ -461,6 +481,67 @@ func verify(c *client.Conn, acked *ackLog) VerifyStats {
 	return v
 }
 
+// scrapeServer pulls the server's merged metrics snapshot and distills
+// the server-side percentiles for the report. Best effort: a nil return
+// (scrape failed) just omits the section.
+func scrapeServer(c *client.Conn) *ServerSideStats {
+	blob, err := c.Metrics()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmdbload: metrics scrape: %v\n", err)
+		return nil
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		fmt.Fprintf(os.Stderr, "mmdbload: metrics decode: %v\n", err)
+		return nil
+	}
+	histP99 := func(sub, name string) float64 {
+		ss := snap.Subsystem(sub)
+		if ss == nil {
+			return 0
+		}
+		for _, h := range ss.Histograms {
+			if h.Name == name {
+				return h.P99 / 1e3 // ns -> us
+			}
+		}
+		return 0
+	}
+	counter := func(sub, name string) int64 {
+		ss := snap.Subsystem(sub)
+		if ss == nil {
+			return 0
+		}
+		for _, cv := range ss.Counters {
+			if cv.Name == name {
+				return cv.Value
+			}
+		}
+		return 0
+	}
+	gauge := func(sub, name string) int64 {
+		ss := snap.Subsystem(sub)
+		if ss == nil {
+			return 0
+		}
+		for _, gv := range ss.Gauges {
+			if gv.Name == name {
+				return gv.Value
+			}
+		}
+		return 0
+	}
+	return &ServerSideStats{
+		Requests:         counter("server", "requests"),
+		CrashCycles:      counter("server", "crash_recover_cycles"),
+		CommitP99us:      histP99("txn", "commit_latency"),
+		GroupWaitP99us:   histP99("txn", "group_commit_wait"),
+		SLBWriteP99us:    histP99("slb", "record_write"),
+		DebitCreditP99us: histP99("server", "latency_debit-credit"),
+		TTP99RestoredUS:  gauge("restart", "ttp99_restored") / 1e3,
+	}
+}
+
 func printReport(r *Report) {
 	fmt.Println()
 	fmt.Printf("=== mmdbload report ===\n")
@@ -482,6 +563,13 @@ func printReport(r *Report) {
 		q := r.Post
 		fmt.Printf("latency post-crash p50 %.0fus  p95 %.0fus  p99 %.0fus  max %.0fus  (n=%d)\n",
 			q.P50us, q.P95us, q.P99us, q.Maxus, q.N)
+	}
+	if s := r.Server; s != nil {
+		fmt.Printf("server side        commit p99 %.0fus  group-wait p99 %.0fus  slb-write p99 %.0fus  exec p99 %.0fus\n",
+			s.CommitP99us, s.GroupWaitP99us, s.SLBWriteP99us, s.DebitCreditP99us)
+		if s.TTP99RestoredUS > 0 {
+			fmt.Printf("server restart     ttp99-restored %dus (%d crash cycles)\n", s.TTP99RestoredUS, s.CrashCycles)
+		}
 	}
 	fmt.Printf("ack log            %d commits acknowledged, %d unknown\n", r.Verify.AckedCommits, r.Verify.Unknown)
 	if r.Verify.OK {

@@ -1,0 +1,75 @@
+// Command promcheck validates Prometheus text exposition (format
+// 0.0.4): it fetches a /metrics URL (or reads stdin) and checks metric
+// and label names, TYPE lines, histogram bucket monotonicity, and
+// _sum/_count consistency — the CI ops-plane smoke job's parser.
+//
+//	promcheck http://127.0.0.1:7780/metrics
+//	curl -s $URL/metrics | promcheck
+//
+// It prints the sample count on success and exits nonzero on the first
+// malformed line. -require asserts a metric family is present (repeat
+// the flag for several); -min-samples guards against empty scrapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+
+	"mmdb/internal/metrics"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var require repeated
+	minSamples := flag.Int("min-samples", 1, "minimum sample count")
+	flag.Var(&require, "require", "metric family that must be present (repeatable)")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	var body []byte
+	if flag.NArg() > 0 {
+		resp, err := http.Get(flag.Arg(0))
+		if err != nil {
+			die("fetch: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			die("fetch: %s returned %s", flag.Arg(0), resp.Status)
+		}
+		src = resp.Body
+	}
+	body, err := io.ReadAll(src)
+	if err != nil {
+		die("read: %v", err)
+	}
+	n, err := metrics.ValidateExposition(strings.NewReader(string(body)))
+	if err != nil {
+		die("invalid exposition: %v", err)
+	}
+	if n < *minSamples {
+		die("%d samples, want >= %d", n, *minSamples)
+	}
+	for _, fam := range require {
+		// A family is present when any sample line starts with its name
+		// (histograms appear as fam_bucket/_sum/_count).
+		re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(fam) + `(_bucket|_sum|_count)?[{ ]`)
+		if !re.Match(body) {
+			die("required family %q absent", fam)
+		}
+	}
+	fmt.Printf("promcheck: ok (%d samples)\n", n)
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -101,6 +101,27 @@ type Config struct {
 	// count against StableBytes. With both trace knobs zero the tracer
 	// is nil and every instrumented path pays a single branch.
 	FlightRecorderBytes int
+	// HeatSnapshotBytes sizes the crash-surviving partition-heat
+	// snapshot: per-partition access counts tracked on the store's
+	// resolve path and persisted into a stable region (two CRC-guarded
+	// generation slots), so the pre-crash heat ranking is readable
+	// during restart and the background sweep can recover hot
+	// partitions first. 0 disables heat tracking; the bytes count
+	// against StableBytes.
+	HeatSnapshotBytes int
+	// HeatPersistEvery is the touch cadence of heat persistence: every
+	// N-th partition access serialises the ranking into the stable
+	// region. 0 means heat.DefaultPersistEvery (4096).
+	HeatPersistEvery int
+	// HeatHalfLife decays access counts by half once per elapsed
+	// half-life, so the ranking tracks the current working set rather
+	// than all-time totals. 0 disables decay.
+	HeatHalfLife time.Duration
+	// DisableHeatOrdering keeps the sweep's catalog-order round-robin
+	// shards even when a heat snapshot was recovered — the unordered
+	// baseline that `paperbench restart` compares time-to-p99-restored
+	// against.
+	DisableHeatOrdering bool
 }
 
 // DefaultConfig returns the paper's environment: 48 KB partitions, 8 KB

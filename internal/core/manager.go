@@ -8,6 +8,7 @@ import (
 
 	"mmdb/internal/addr"
 	"mmdb/internal/fault"
+	"mmdb/internal/heat"
 	"mmdb/internal/lock"
 	"mmdb/internal/mm"
 	"mmdb/internal/simdisk"
@@ -107,6 +108,12 @@ type Manager struct {
 	// recovered from stable memory when this manager attached.
 	tracer     *trace.Tracer
 	crashTrace []trace.Event
+
+	// heat is the crash-surviving partition-heat tracker (nil when
+	// HeatSnapshotBytes is 0); prog is the live restart-progress state,
+	// seeded from the heat ranking recovered at attach.
+	heat *heat.Tracker
+	prog progressState
 }
 
 // New creates the recovery component over hardware hw. For a fresh
@@ -165,6 +172,33 @@ func New(hw *Hardware, cfg Config, store *mm.Store, locks *lock.Manager) (*Manag
 	s.tracer = m.tracer
 	locks.Tracer = m.tracer
 	m.Txns.Tracer = m.tracer
+	// Attach the heat tracker after the tracer, so the prior generation's
+	// ranking (recovered from the stable snapshot region) can seed the
+	// restart-progress state and heat events are traced from the start.
+	ht, recovered, err := heat.Attach(hw.Stable, cfg.HeatSnapshotBytes, cfg.HeatPersistEvery, cfg.HeatHalfLife)
+	if err != nil {
+		return nil, err
+	}
+	m.heat = ht
+	m.prog.init(recovered)
+	mt.HeatRecoveredParts.Set(int64(len(recovered)))
+	if ht != nil {
+		ht.Touches = mt.HeatTouches
+		ht.Persists = mt.HeatPersists
+		ht.Decays = mt.HeatDecays
+		ht.TrackedParts = mt.HeatTrackedParts
+		ht.SnapshotBytes = mt.HeatSnapshotBytes
+		ht.OnPersist = func(parts, bytes int) {
+			m.tracer.Emit(trace.Event{
+				Kind: trace.KindHeatSnapshot, Arg: uint64(parts), Arg2: uint64(bytes),
+			})
+		}
+		store.SetHeat(ht)
+	} else {
+		// Detach any prior generation's tracker: its stable region is
+		// gone, and a reused store must not keep touching it.
+		store.SetHeat(nil)
+	}
 	hw.Stable.SetInjector(m.inj)
 	hw.Log.Primary.SetInjector(m.inj, fault.PointLogWritePrimary, fault.PointLogReadPrimary)
 	hw.Log.Mirror.SetInjector(m.inj, fault.PointLogWriteMirror, fault.PointLogReadMirror)

@@ -65,6 +65,10 @@ type Metrics struct {
 	// restart — the foreground/background split of §2.5: root scan
 	// (catalog restore) happens before the first transaction; partition
 	// recovery is on demand; the background sweep covers the rest.
+	// The progress gauges publish live restart state: partitions
+	// recovered vs total, the heat-weighted fraction restored (ppm),
+	// and TTP99Restored — the nanoseconds from Restart until ≥99% of
+	// pre-crash access weight was resident again.
 	RestartRootScan     *metrics.Histogram
 	PartitionRecovery   *metrics.Histogram
 	BackgroundSweep     *metrics.Histogram
@@ -73,6 +77,18 @@ type Metrics struct {
 	RecoveryLogPages    *metrics.Counter
 	RecoverySweepErrors *metrics.Counter
 	SweepPartsPerSec    *metrics.Gauge
+	RestartPartsTotal   *metrics.Gauge
+	HeatWeightPPM       *metrics.Gauge
+	TTP99Restored       *metrics.Gauge
+
+	// heat — per-partition access-heat tracking (internal/heat): the
+	// crash-surviving ranking behind heat-ordered recovery.
+	HeatTouches        *metrics.Counter
+	HeatPersists       *metrics.Counter
+	HeatDecays         *metrics.Counter
+	HeatTrackedParts   *metrics.Gauge
+	HeatSnapshotBytes  *metrics.Gauge
+	HeatRecoveredParts *metrics.Gauge
 
 	// lock — contention on the 2PL substrate.
 	LockWait  *metrics.Histogram
@@ -99,6 +115,7 @@ func newMetrics(streams int) *Metrics {
 	logS := reg.Subsystem("log")
 	ckpt := reg.Subsystem("checkpoint")
 	restart := reg.Subsystem("restart")
+	heatS := reg.Subsystem("heat")
 	lockS := reg.Subsystem("lock")
 	faultS := reg.Subsystem("fault")
 	streamRecords := make([]*metrics.Counter, streams)
@@ -157,6 +174,21 @@ func newMetrics(streams int) *Metrics {
 		RecoveryLogPages:    restart.Counter("log_pages_read", "pages", "log pages read during recovery"),
 		RecoverySweepErrors: restart.Counter("sweep_errors", "errors", "failed recovery attempts during the background sweep (enumeration + per-partition)"),
 		SweepPartsPerSec:    restart.Gauge("sweep_parts_per_sec", "parts/s", "background-sweep recovery throughput of the last completed sweep"),
+		RestartPartsTotal:   restart.Gauge("parts_total", "parts", "partitions the current restart generation must recover (set when the sweep enumerates the catalogs)"),
+		HeatWeightPPM: restart.Gauge("heat_weight_restored_ppm", "ppm",
+			"parts-per-million of pre-crash access weight resident again (heat-weighted restart progress)"),
+		TTP99Restored: restart.Gauge("ttp99_restored", "ns",
+			"time from Restart until >=99% of pre-crash access weight was resident (0 until stamped)"),
+
+		HeatTouches:  heatS.Counter("touches", "touches", "partition accesses recorded by the heat tracker"),
+		HeatPersists: heatS.Counter("persists", "persists", "heat-ranking serialisations into the stable snapshot region"),
+		HeatDecays:   heatS.Counter("decays", "halvings", "exponential-decay halvings applied to the heat counts"),
+		HeatTrackedParts: heatS.Gauge("tracked_partitions", "parts",
+			"partitions with a live heat count"),
+		HeatSnapshotBytes: heatS.Gauge("snapshot_bytes", "bytes",
+			"payload bytes of the last persisted heat snapshot"),
+		HeatRecoveredParts: heatS.Gauge("recovered_partitions", "parts",
+			"entries in the pre-crash heat ranking recovered at attach"),
 
 		LockWait: lockS.Histogram("wait", "ns",
 			"time transactions spend blocked on 2PL lock queues"),

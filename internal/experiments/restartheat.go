@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/core"
+	"mmdb/internal/heat"
+	"mmdb/internal/lock"
+	"mmdb/internal/mm"
+	"mmdb/internal/simdisk"
+	"mmdb/internal/trace"
+	"mmdb/internal/txn"
+	"mmdb/internal/wal"
+)
+
+// HeatOrderingPoint is one worker-count sample of the heat-ordered vs
+// catalog-order restart benchmark: how long until 99% of the pre-crash
+// access weight is resident again, under the two sweep orderings.
+type HeatOrderingPoint struct {
+	Partitions int
+	HotParts   int
+	Workers    int
+	// OrderedTTP99MS and CatalogTTP99MS are the simulated
+	// time-to-p99-restored: the charged disk + recovery-CPU cost until
+	// partitions holding >= 99% of the pre-crash heat weight have been
+	// recovered, replaying each worker's round-robin shard in the
+	// sweep's actual order. Ordered uses the recovered heat ranking
+	// (hottest first); Catalog keeps the directory order.
+	OrderedTTP99MS float64
+	CatalogTTP99MS float64
+	// Speedup is CatalogTTP99MS / OrderedTTP99MS.
+	Speedup float64
+	// FullSweepMS is the simulated makespan of the whole sweep — the
+	// most-loaded worker's charged cost, identical for both orderings.
+	FullSweepMS float64
+	// RealOrderedUS / RealCatalogUS are the host-clock ttp99 values the
+	// manager stamped (restart/ttp99_restored), for reference; host
+	// scheduling noise makes them less stable than the simulated cost.
+	RealOrderedUS int64
+	RealCatalogUS int64
+	// Errors sums the sweep failed-recovery counters (must be zero).
+	Errors int64
+}
+
+// HeatOrderingTTP99 measures the tentpole claim behind heat-ordered
+// recovery: on a skewed workload, sweeping hottest-first restores 99%
+// of the pre-crash access weight far sooner than the catalog order,
+// while the full sweep takes the same time either way. The stable state
+// — checkpointed partitions, post-checkpoint log records, and a
+// persisted heat snapshot with hotParts hot partitions scattered
+// through the catalog — is built once and then crashed and swept twice
+// per worker count, once heat-ordered and once with
+// Config.DisableHeatOrdering.
+func HeatOrderingTTP99(nParts, hotParts int, workerCounts []int, recsPerPart int) ([]HeatOrderingPoint, error) {
+	if nParts == 0 {
+		nParts = 128
+	}
+	if hotParts == 0 {
+		hotParts = nParts / 8
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	if recsPerPart == 0 {
+		recsPerPart = 400
+	}
+	cfg := core.DefaultConfig()
+	cfg.PartitionSize = 16 << 10
+	cfg.LogPageSize = 2 << 10
+	cfg.UpdateThreshold = 1 << 30 // checkpoints run only on request
+	cfg.LogWindowPages = 1 << 20  // keep every log page on disk
+	cfg.StableBytes = 256 << 20
+	cfg.BackgroundRecovery = false // the benchmark calls Sweep itself
+	cfg.TraceBufferEvents = 8 * nParts
+	cfg.HeatSnapshotBytes = 64 << 10
+	cfg.HeatPersistEvery = 1 << 30 // persist only on explicit request
+
+	hw := core.NewHardware(cfg)
+	tracks := map[addr.PartitionID]simdisk.TrackLoc{}
+	pids := make([]addr.PartitionID, nParts)
+	for i := range pids {
+		pids[i] = addr.PartitionID{Segment: 2, Part: addr.PartitionNum(i)}
+	}
+	attach := func() (*core.Manager, *mm.Store, error) {
+		store := mm.NewStore(cfg.PartitionSize)
+		m, err := core.New(hw, cfg, store, lock.NewManager())
+		if err != nil {
+			return nil, nil, err
+		}
+		m.SetCallbacks(core.Callbacks{
+			OwnerRel: func(pid addr.PartitionID) (uint64, bool) { return 1, true },
+			InstallCkpt: func(t *txn.Txn, pid addr.PartitionID, track simdisk.TrackLoc) (simdisk.TrackLoc, error) {
+				old, ok := tracks[pid]
+				if !ok {
+					old = simdisk.NilTrack
+				}
+				tracks[pid] = track
+				return old, nil
+			},
+			Locate: func(pid addr.PartitionID) (simdisk.TrackLoc, error) {
+				if tr, ok := tracks[pid]; ok {
+					return tr, nil
+				}
+				return simdisk.NilTrack, nil
+			},
+			AllPartitions: func() ([]addr.PartitionID, error) { return pids, nil },
+		})
+		for _, tr := range tracks {
+			m.MarkTrackUsed(tr)
+		}
+		return m, store, nil
+	}
+
+	// Build the stable state once, exactly like the sweep-scaling
+	// benchmark, plus a skewed access profile persisted into the heat
+	// snapshot before the crash.
+	m, store, err := attach()
+	if err != nil {
+		return nil, err
+	}
+	h := &harness{hw: hw, m: m, store: store}
+	h.ensureParts(2, nParts)
+	h.m.Start()
+	rng := rand.New(rand.NewSource(7))
+	txnID := uint64(1)
+	inject := func(tag wal.Tag, n int) error {
+		for part := 0; part < nParts; part++ {
+			pid := pids[part]
+			recs := make([]wal.Record, 0, n)
+			for i := 0; i < n; i++ {
+				data := make([]byte, 64)
+				rng.Read(data)
+				recs = append(recs, wal.Record{Tag: tag, PID: pid, Slot: addr.Slot(i), Data: data})
+			}
+			if err := h.m.InjectCommitted(txnID, recs); err != nil {
+				return err
+			}
+			txnID++
+		}
+		return nil
+	}
+	if err := inject(wal.TagRelInsert, recsPerPart); err != nil {
+		return nil, err
+	}
+	h.m.WaitIdle()
+	for _, pid := range pids {
+		h.m.RequestCheckpoint(pid)
+	}
+	h.m.WaitIdle()
+	if err := inject(wal.TagRelUpdate, recsPerPart/4); err != nil {
+		return nil, err
+	}
+	h.m.WaitIdle()
+
+	// Skewed access profile: hotParts hot partitions scattered evenly
+	// through the catalog (so the catalog order reaches the last one
+	// late), carrying ~1000x the touch weight of a cold partition. The
+	// build phase itself touched every partition (inserts, checkpoints,
+	// updates all go through the store), so that uniform noise is
+	// forgotten first.
+	for _, pid := range pids {
+		m.Heat().Forget(pid)
+	}
+	stride := nParts / hotParts
+	hot := make([]addr.PartitionID, hotParts)
+	hotSet := map[addr.PartitionID]bool{}
+	for k := range hot {
+		hot[k] = pids[k*stride+stride/2]
+		hotSet[hot[k]] = true
+	}
+	for k, pid := range hot {
+		for i := 0; i < (hotParts-k)*1000; i++ {
+			if _, err := store.Partition(pid); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, pid := range pids {
+		if !hotSet[pid] {
+			if _, err := store.Partition(pid); err != nil {
+				return nil, err
+			}
+		}
+	}
+	m.Heat().Persist()
+	h.m.Stop() // crash
+
+	// Sweep the same stable state twice per worker count: heat-ordered,
+	// then catalog order.
+	var out []HeatOrderingPoint
+	for _, w := range workerCounts {
+		pt := HeatOrderingPoint{Partitions: nParts, HotParts: hotParts, Workers: w}
+		for _, disable := range []bool{false, true} {
+			cfg.RecoveryWorkers = w
+			cfg.DisableHeatOrdering = disable
+			m2, store2, err := attach()
+			if err != nil {
+				return nil, err
+			}
+			ranked := m2.RecoveredHeat()
+			if len(ranked) != nParts {
+				return nil, fmt.Errorf("experiments: heat snapshot recovered %d of %d partitions", len(ranked), nParts)
+			}
+			if _, err := m2.Restart(); err != nil {
+				return nil, err
+			}
+			m2.Resume()
+			before := hw.Meter.Snapshot()
+			m2.Sweep()
+			d := hw.Meter.Snapshot().Sub(before)
+			for _, pid := range pids {
+				if !store2.Resident(pid) {
+					return nil, fmt.Errorf("experiments: %d-worker sweep left %v unrecovered", w, pid)
+				}
+			}
+			// Per-partition relative cost from the redo trace: one unit
+			// for the checkpoint image plus one per log page replayed.
+			cost := map[addr.PartitionID]float64{}
+			for _, e := range m2.TraceEvents() {
+				if e.Kind == trace.KindPartRedo {
+					pid := addr.PartitionID{Segment: addr.SegmentID(e.Seg), Part: addr.PartitionNum(e.Part)}
+					cost[pid] = 1 + float64(e.Arg2)
+				}
+			}
+			if len(cost) != nParts {
+				return nil, fmt.Errorf("experiments: redo trace covered %d of %d partitions", len(cost), nParts)
+			}
+			order := append([]addr.PartitionID(nil), pids...)
+			if !disable {
+				weights := map[addr.PartitionID]int64{}
+				for _, ph := range ranked {
+					weights[ph.PID] = ph.Weight
+				}
+				sort.SliceStable(order, func(i, j int) bool {
+					return weights[order[i]] > weights[order[j]]
+				})
+			}
+			chargedUS := float64(d.CkptDiskMicros+d.LogDiskMicros) + d.RecoveryCPUSeconds(cfg.Cost.PRecovery)*1e6
+			ttp99US, fullUS := simulateTTP99(order, w, cost, ranked, chargedUS)
+			prog := m2.RecoveryProgress(0)
+			if disable {
+				pt.CatalogTTP99MS = ttp99US / 1e3
+				pt.RealCatalogUS = prog.TTP99RestoredNS / 1e3
+			} else {
+				pt.OrderedTTP99MS = ttp99US / 1e3
+				pt.RealOrderedUS = prog.TTP99RestoredNS / 1e3
+			}
+			pt.FullSweepMS = fullUS / 1e3
+			pt.Errors += m2.Stats().SweepErrors
+			m2.Stop()
+		}
+		if pt.OrderedTTP99MS > 0 {
+			pt.Speedup = pt.CatalogTTP99MS / pt.OrderedTTP99MS
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// simulateTTP99 replays the sweep's deterministic schedule — worker i
+// recovers order[i], order[i+W], ... sequentially — in charged-cost
+// time, and returns the simulated microseconds until partitions holding
+// >= 99% of the heat weight are recovered, plus the full makespan. The
+// total charged cost of the sweep is distributed across partitions in
+// proportion to their per-partition cost units.
+func simulateTTP99(order []addr.PartitionID, workers int, cost map[addr.PartitionID]float64, ranked []heat.PartHeat, chargedUS float64) (ttp99US, makespanUS float64) {
+	var totalUnits float64
+	for _, c := range cost {
+		totalUnits += c
+	}
+	usPerUnit := 0.0
+	if totalUnits > 0 {
+		usPerUnit = chargedUS / totalUnits
+	}
+	weights := map[addr.PartitionID]int64{}
+	var totalWeight int64
+	for _, ph := range ranked {
+		weights[ph.PID] = ph.Weight
+		totalWeight += ph.Weight
+	}
+	type done struct {
+		at     float64
+		weight int64
+	}
+	var events []done
+	clock := make([]float64, workers)
+	for i, pid := range order {
+		wk := i % workers
+		clock[wk] += cost[pid] * usPerUnit
+		events = append(events, done{at: clock[wk], weight: weights[pid]})
+		if clock[wk] > makespanUS {
+			makespanUS = clock[wk]
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+	var restored int64
+	for _, e := range events {
+		restored += e.weight
+		if restored*1000 >= totalWeight*990 {
+			return e.at, makespanUS
+		}
+	}
+	return makespanUS, makespanUS
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+// TestHeatOrderingTTP99 is the tentpole's acceptance bar: on a skewed
+// workload, the heat-ordered sweep reaches 99% of the pre-crash access
+// weight strictly sooner than the catalog order at every measured
+// worker count, including >= 4 workers, while the full sweep makespan
+// is ordering-independent.
+func TestHeatOrderingTTP99(t *testing.T) {
+	pts, err := HeatOrderingTTP99(64, 8, []int{1, 4, 8}, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	for _, p := range pts {
+		if p.Errors != 0 {
+			t.Fatalf("workers=%d: sweep errors %d", p.Workers, p.Errors)
+		}
+		if p.OrderedTTP99MS <= 0 || p.CatalogTTP99MS <= 0 || p.FullSweepMS <= 0 {
+			t.Fatalf("workers=%d: non-positive timings %+v", p.Workers, p)
+		}
+		if p.OrderedTTP99MS >= p.CatalogTTP99MS {
+			t.Errorf("workers=%d: heat-ordered ttp99 %.3fms not faster than catalog %.3fms",
+				p.Workers, p.OrderedTTP99MS, p.CatalogTTP99MS)
+		}
+		if p.OrderedTTP99MS > p.FullSweepMS || p.CatalogTTP99MS > p.FullSweepMS {
+			t.Errorf("workers=%d: ttp99 exceeds full sweep makespan %+v", p.Workers, p)
+		}
+		// The manager stamped a real host-clock ttp99 in both runs.
+		if p.RealOrderedUS <= 0 || p.RealCatalogUS <= 0 {
+			t.Errorf("workers=%d: manager did not stamp ttp99 %+v", p.Workers, p)
+		}
+	}
+	// With 8 hot partitions scattered through 64, the catalog order has
+	// to sweep most of the database before the last hot partition; the
+	// heat order front-loads all of them. The gap should be large, not
+	// marginal.
+	for _, p := range pts {
+		if p.Workers >= 4 && p.Speedup < 2 {
+			t.Errorf("workers=%d: speedup %.2fx, want >= 2x", p.Workers, p.Speedup)
+		}
+	}
+}

@@ -1,0 +1,460 @@
+// Package heat tracks per-partition access heat: how often each
+// partition is touched by transaction processing. The ranking it
+// maintains is the input to heat-guided recovery ordering (ROADMAP:
+// recover what traffic actually uses first, so time-to-p99-restored —
+// the moment ≥99% of pre-crash access weight is resident again — beats
+// time-to-fully-recovered by a wide margin on skewed workloads).
+//
+// The tracker lives on the hot path of mm.Store.Partition, so Touch is
+// one RLock map probe plus an atomic add; entries are created once per
+// partition lifetime. Counts decay exponentially (configurable
+// half-life) so the ranking follows the working set rather than
+// all-time totals.
+//
+// Persistence follows the trace.FlightRing pattern: the ranking is
+// serialised into a stablemem.Region registered under a well-known
+// root key, so it survives the crash model exactly as the Stable Log
+// Buffer does. The region holds two alternating generation slots, each
+// CRC-guarded, so a torn persist can never destroy the previous good
+// snapshot: the loader picks the newest slot whose checksum verifies.
+// After a crash, Attach recovers the pre-crash ranking for the restart
+// sweep and seeds the new generation's tracker with it.
+package heat
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/metrics"
+	"mmdb/internal/stablemem"
+)
+
+// rootKey names the heat snapshot in the stable memory root, alongside
+// the SLB, SLT, and trace flight-recorder keys.
+const rootKey = "mmdb-heat-snapshot"
+
+// DefaultPersistEvery is the touch interval between stable persists
+// when the config leaves it zero.
+const DefaultPersistEvery = 4096
+
+// PartHeat is one partition's accumulated access weight.
+type PartHeat struct {
+	PID    addr.PartitionID
+	Weight int64
+}
+
+// TotalWeight sums the ranking's weights.
+func TotalWeight(ranked []PartHeat) int64 {
+	var total int64
+	for _, ph := range ranked {
+		total += ph.Weight
+	}
+	return total
+}
+
+// Tracker accumulates per-partition access counts. All methods are
+// nil-receiver safe, so the disabled state (Config.HeatSnapshotBytes
+// == 0) costs untraced hot paths a single branch.
+type Tracker struct {
+	snap         *Snapshot
+	persistEvery int64
+	halfLife     time.Duration
+
+	mu     sync.RWMutex
+	counts map[addr.PartitionID]*atomic.Int64
+
+	touches    atomic.Int64 // total touches, drives the persist cadence
+	persisting atomic.Bool  // single-flight guard for periodic persists
+	lastDecay  atomic.Int64 // unixnano of the last decay pass
+
+	recovered []PartHeat // pre-crash ranking recovered at Attach
+
+	// Optional instruments and hooks, wired by the owning manager.
+	// All nil-safe.
+	Touches       *metrics.Counter
+	Persists      *metrics.Counter
+	Decays        *metrics.Counter
+	TrackedParts  *metrics.Gauge
+	SnapshotBytes *metrics.Gauge
+	// OnPersist runs after each stable persist with the entry count and
+	// payload bytes written (trace-event hook).
+	OnPersist func(parts, bytes int)
+}
+
+// Attach recovers the previous generation's heat snapshot from stable
+// memory and installs the new generation's tracker:
+//
+//   - the pre-crash ranking is decoded and returned regardless of the
+//     new generation's configuration, so the restart sweep can order by
+//     it even if tracking is being turned off;
+//   - if bytes > 0 a snapshot region of that size is (re)installed in
+//     the stable root — the previous region is reused when the size
+//     matches, else freed and reallocated — and the new tracker's
+//     counts are seeded with the recovered ranking so heat survives
+//     repeated crash cycles;
+//   - if bytes <= 0 the previous region is freed and unregistered, and
+//     a nil tracker is returned.
+func Attach(mem *stablemem.Memory, bytes, persistEvery int, halfLife time.Duration) (*Tracker, []PartHeat, error) {
+	prior, _ := mem.Root(rootKey).(*Snapshot)
+	var recovered []PartHeat
+	if prior != nil {
+		recovered = prior.Load()
+	}
+	var snap *Snapshot
+	switch {
+	case bytes > 0 && prior != nil && prior.Size() == bytes:
+		snap = prior
+	case bytes > 0:
+		prior.Free()
+		s, err := NewSnapshot(mem, bytes)
+		if err != nil {
+			return nil, recovered, err
+		}
+		snap = s
+		mem.SetRoot(rootKey, s)
+	default:
+		prior.Free()
+		if prior != nil {
+			mem.SetRoot(rootKey, nil)
+		}
+		return nil, recovered, nil
+	}
+	if persistEvery <= 0 {
+		persistEvery = DefaultPersistEvery
+	}
+	t := &Tracker{
+		snap:         snap,
+		persistEvery: int64(persistEvery),
+		halfLife:     halfLife,
+		counts:       make(map[addr.PartitionID]*atomic.Int64, len(recovered)),
+		recovered:    recovered,
+	}
+	t.lastDecay.Store(time.Now().UnixNano())
+	for _, ph := range recovered {
+		if ph.Weight > 0 {
+			c := new(atomic.Int64)
+			c.Store(ph.Weight)
+			t.counts[ph.PID] = c
+		}
+	}
+	if snap != prior && len(recovered) > 0 {
+		// The region was reallocated (size change): the recovered ranking
+		// lives only in this process now, so re-persist it immediately.
+		t.Persist()
+	}
+	return t, recovered, nil
+}
+
+// Recovered returns the pre-crash ranking recovered at Attach, hottest
+// first. Nil-safe.
+func (t *Tracker) Recovered() []PartHeat {
+	if t == nil {
+		return nil
+	}
+	return t.recovered
+}
+
+// Touch records one access to the partition: the hot-path entry point,
+// called from mm.Store.Partition on every resolve. Nil-safe.
+func (t *Tracker) Touch(pid addr.PartitionID) {
+	if t == nil {
+		return
+	}
+	t.mu.RLock()
+	c := t.counts[pid]
+	t.mu.RUnlock()
+	if c == nil {
+		t.mu.Lock()
+		if c = t.counts[pid]; c == nil {
+			c = new(atomic.Int64)
+			t.counts[pid] = c
+			t.TrackedParts.Set(int64(len(t.counts)))
+		}
+		t.mu.Unlock()
+	}
+	c.Add(1)
+	t.Touches.Inc()
+	if n := t.touches.Add(1); n%t.persistEvery == 0 {
+		// Single-flight: one toucher persists, concurrent touchers skip.
+		if t.persisting.CompareAndSwap(false, true) {
+			t.persist()
+			t.persisting.Store(false)
+		}
+	}
+}
+
+// Forget drops a partition from the tracker (segment/partition freed).
+// Nil-safe.
+func (t *Tracker) Forget(pid addr.PartitionID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	delete(t.counts, pid)
+	t.TrackedParts.Set(int64(len(t.counts)))
+	t.mu.Unlock()
+}
+
+// Weight returns the partition's current heat. Nil-safe.
+func (t *Tracker) Weight(pid addr.PartitionID) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.RLock()
+	c := t.counts[pid]
+	t.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+// Ranking returns the live ranking, hottest first; ties break by
+// partition address so the order is deterministic. Nil-safe.
+func (t *Tracker) Ranking() []PartHeat {
+	if t == nil {
+		return nil
+	}
+	t.mu.RLock()
+	out := make([]PartHeat, 0, len(t.counts))
+	for pid, c := range t.counts {
+		if w := c.Load(); w > 0 {
+			out = append(out, PartHeat{PID: pid, Weight: w})
+		}
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].PID.Less(out[j].PID)
+	})
+	return out
+}
+
+// Persist serialises the current ranking into the stable snapshot
+// region. Called on the periodic touch cadence, and explicitly by
+// clean-shutdown and benchmark paths. Nil-safe.
+func (t *Tracker) Persist() {
+	if t == nil {
+		return
+	}
+	t.persist()
+}
+
+func (t *Tracker) persist() {
+	t.maybeDecay()
+	ranked := t.Ranking()
+	stored, bytes := t.snap.Store(ranked)
+	t.Persists.Inc()
+	t.SnapshotBytes.Set(int64(bytes))
+	if t.OnPersist != nil {
+		t.OnPersist(stored, bytes)
+	}
+}
+
+// maybeDecay halves every count once per elapsed half-life, so the
+// ranking tracks the working set rather than all-time totals. Counts
+// that decay to zero are dropped.
+func (t *Tracker) maybeDecay() {
+	if t.halfLife <= 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := t.lastDecay.Load()
+	halvings := (now - last) / int64(t.halfLife)
+	if halvings <= 0 {
+		return
+	}
+	if !t.lastDecay.CompareAndSwap(last, last+halvings*int64(t.halfLife)) {
+		return // another goroutine is decaying this interval
+	}
+	t.DecayN(halvings)
+}
+
+// DecayN halves every count n times (counts reaching zero are
+// dropped). Exposed so tests and benchmarks can age the ranking
+// deterministically. Nil-safe.
+func (t *Tracker) DecayN(n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	if n > 62 {
+		n = 62
+	}
+	t.mu.Lock()
+	for pid, c := range t.counts {
+		if v := c.Load() >> n; v > 0 {
+			c.Store(v)
+		} else {
+			delete(t.counts, pid)
+		}
+	}
+	t.TrackedParts.Set(int64(len(t.counts)))
+	t.mu.Unlock()
+	t.Decays.Add(n)
+}
+
+// ---------------------------------------------------------------------
+// Stable snapshot region: two alternating generation slots, each
+// [magic][gen][len][crc32][payload], so a persist torn by a crash can
+// never destroy the previous good snapshot.
+// ---------------------------------------------------------------------
+
+const (
+	snapMagic   = "MHT1"
+	slotHdrSize = 4 + 8 + 4 + 4 // magic + gen + payload len + crc32
+	// MinSnapshotBytes is the smallest usable region: two slots with
+	// room for a header and a handful of entries each.
+	MinSnapshotBytes = 2 * (slotHdrSize + 64)
+)
+
+// Snapshot is the crash-surviving heat ranking, carved from stable
+// memory and registered in the stable root. It survives crashes
+// because the stablemem.Memory value does.
+type Snapshot struct {
+	mu  sync.Mutex
+	reg *stablemem.Region
+	gen uint64
+}
+
+// NewSnapshot carves a snapshot region of the given size out of stable
+// memory. Sizes below MinSnapshotBytes are raised to it.
+func NewSnapshot(mem *stablemem.Memory, size int) (*Snapshot, error) {
+	if size < MinSnapshotBytes {
+		size = MinSnapshotBytes
+	}
+	reg, err := mem.NewRegion(size)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{reg: reg}, nil
+}
+
+// Size returns the region capacity in bytes.
+func (s *Snapshot) Size() int {
+	if s == nil {
+		return 0
+	}
+	return s.reg.Size()
+}
+
+// Free releases the region's stable reservation. Nil-safe.
+func (s *Snapshot) Free() {
+	if s != nil {
+		s.reg.Free()
+	}
+}
+
+// Store writes the ranking (hottest first) into the next generation
+// slot. If the full ranking does not fit in a slot, the encoded prefix
+// — the hottest entries — is kept and the tail dropped: ranking the
+// working set is the snapshot's whole job. It returns how many entries
+// and payload bytes were written. Nil-safe.
+func (s *Snapshot) Store(ranked []PartHeat) (stored, payloadBytes int) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slotCap := s.reg.Size()/2 - slotHdrSize
+	var tmp [3 * binary.MaxVarintLen64]byte
+	payload := make([]byte, 8, slotCap)
+	for _, ph := range ranked {
+		n := binary.PutUvarint(tmp[:], uint64(ph.PID.Segment))
+		n += binary.PutUvarint(tmp[n:], uint64(ph.PID.Part))
+		n += binary.PutUvarint(tmp[n:], uint64(ph.Weight))
+		if len(payload)+n > slotCap {
+			break
+		}
+		payload = append(payload, tmp[:n]...)
+		stored++
+	}
+	// The entry count is a fixed-width prefix so the varint entries can
+	// be encoded in one pass above.
+	binary.LittleEndian.PutUint64(payload[:8], uint64(stored))
+	s.gen++
+	slotOff := int(s.gen%2) * (s.reg.Size() / 2)
+	var hdr [slotHdrSize]byte
+	copy(hdr[:4], snapMagic)
+	binary.LittleEndian.PutUint64(hdr[4:12], s.gen)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(payload))
+	// Payload first, header last: a slot is only considered by the
+	// loader once its checksummed header lands.
+	s.reg.WriteAt(slotOff+slotHdrSize, payload)
+	s.reg.WriteAt(slotOff, hdr[:])
+	return stored, len(payload)
+}
+
+// Load decodes the newest valid generation slot, returning the ranking
+// hottest first (the stored order). A region with no valid slot — fresh
+// memory, or total corruption — yields nil. Nil-safe.
+func (s *Snapshot) Load() []PartHeat {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	half := s.reg.Size() / 2
+	var best []PartHeat
+	var bestGen uint64
+	for slot := 0; slot < 2; slot++ {
+		off := slot * half
+		hdr := s.reg.ReadAt(off, slotHdrSize)
+		if string(hdr[:4]) != snapMagic {
+			continue
+		}
+		gen := binary.LittleEndian.Uint64(hdr[4:12])
+		plen := int(binary.LittleEndian.Uint32(hdr[12:16]))
+		if plen < 8 || plen > half-slotHdrSize {
+			continue
+		}
+		payload := s.reg.ReadAt(off+slotHdrSize, plen)
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[16:20]) {
+			continue
+		}
+		ranked, ok := decodeRanking(payload)
+		if !ok || gen < bestGen {
+			continue
+		}
+		best, bestGen = ranked, gen
+		if gen > s.gen {
+			s.gen = gen // continue the generation sequence after reload
+		}
+	}
+	return best
+}
+
+func decodeRanking(payload []byte) ([]PartHeat, bool) {
+	count := binary.LittleEndian.Uint64(payload[:8])
+	buf := payload[8:]
+	out := make([]PartHeat, 0, count)
+	for i := uint64(0); i < count; i++ {
+		seg, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, false
+		}
+		buf = buf[n:]
+		part, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, false
+		}
+		buf = buf[n:]
+		w, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, false
+		}
+		buf = buf[n:]
+		out = append(out, PartHeat{
+			PID:    addr.PartitionID{Segment: addr.SegmentID(seg), Part: addr.PartitionNum(part)},
+			Weight: int64(w),
+		})
+	}
+	return out, true
+}

@@ -1,0 +1,272 @@
+package heat
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mmdb/internal/addr"
+	"mmdb/internal/stablemem"
+)
+
+func pid(seg, part uint32) addr.PartitionID {
+	return addr.PartitionID{Segment: addr.SegmentID(seg), Part: addr.PartitionNum(part)}
+}
+
+func newMem(t *testing.T) *stablemem.Memory {
+	t.Helper()
+	return stablemem.New(1<<20, 1, nil)
+}
+
+func TestTouchAndRanking(t *testing.T) {
+	mem := newMem(t)
+	tr, recovered, err := Attach(mem, 4<<10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("fresh memory recovered %d entries", len(recovered))
+	}
+	for i := 0; i < 10; i++ {
+		tr.Touch(pid(2, 0))
+	}
+	for i := 0; i < 5; i++ {
+		tr.Touch(pid(2, 1))
+	}
+	tr.Touch(pid(3, 0))
+	r := tr.Ranking()
+	if len(r) != 3 {
+		t.Fatalf("ranking has %d entries, want 3", len(r))
+	}
+	if r[0].PID != pid(2, 0) || r[0].Weight != 10 {
+		t.Fatalf("hottest = %v w=%d, want P(2.0) w=10", r[0].PID, r[0].Weight)
+	}
+	if r[1].PID != pid(2, 1) || r[2].PID != pid(3, 0) {
+		t.Fatalf("ranking order wrong: %v", r)
+	}
+	if w := tr.Weight(pid(2, 1)); w != 5 {
+		t.Fatalf("Weight(P(2.1)) = %d, want 5", w)
+	}
+}
+
+func TestSnapshotSurvivesReattach(t *testing.T) {
+	mem := newMem(t)
+	tr, _, err := Attach(mem, 4<<10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Touch(pid(2, 0))
+	}
+	for i := 0; i < 40; i++ {
+		tr.Touch(pid(2, 1))
+	}
+	for i := 0; i < 7; i++ {
+		tr.Touch(pid(4, 2))
+	}
+	tr.Persist()
+
+	// Simulated crash: the tracker is dropped, the Memory survives.
+	tr2, recovered, err := Attach(mem, 4<<10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PartHeat{
+		{PID: pid(2, 0), Weight: 100},
+		{PID: pid(2, 1), Weight: 40},
+		{PID: pid(4, 2), Weight: 7},
+	}
+	if len(recovered) != len(want) {
+		t.Fatalf("recovered %d entries, want %d: %v", len(recovered), len(want), recovered)
+	}
+	for i := range want {
+		if recovered[i] != want[i] {
+			t.Fatalf("recovered[%d] = %v, want %v", i, recovered[i], want[i])
+		}
+	}
+	// The new generation is seeded with the recovered counts.
+	if w := tr2.Weight(pid(2, 0)); w != 100 {
+		t.Fatalf("seeded weight = %d, want 100", w)
+	}
+}
+
+func TestTornPersistKeepsPriorGeneration(t *testing.T) {
+	mem := newMem(t)
+	snap, err := NewSnapshot(mem, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Store([]PartHeat{{PID: pid(2, 0), Weight: 11}})
+	snap.Store([]PartHeat{{PID: pid(2, 0), Weight: 22}})
+	loaded := snap.Load()
+	if len(loaded) != 1 || loaded[0].Weight != 22 {
+		t.Fatalf("loaded %v, want weight 22", loaded)
+	}
+	// A crash torn mid-persist of generation 3 leaves its slot (slot 1,
+	// gen 3 is odd) with a header whose checksum cannot verify; the
+	// loader must fall back to generation 2 in the other slot.
+	snap.reg.WriteAt(3%2*(snap.Size()/2), []byte("MHT1garbage-partial-header"))
+	if got := snap.Load(); len(got) != 1 || got[0].Weight != 22 {
+		t.Fatalf("after torn header, loaded %v, want weight 22", got)
+	}
+}
+
+func TestSnapshotTruncatesToHottest(t *testing.T) {
+	mem := newMem(t)
+	snap, err := NewSnapshot(mem, MinSnapshotBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ranked []PartHeat
+	for i := 0; i < 1000; i++ {
+		ranked = append(ranked, PartHeat{PID: pid(2, uint32(i)), Weight: int64(1000 - i)})
+	}
+	stored, _ := snap.Store(ranked)
+	if stored == 0 || stored >= 1000 {
+		t.Fatalf("stored = %d, want a truncated non-zero prefix", stored)
+	}
+	loaded := snap.Load()
+	if len(loaded) != stored {
+		t.Fatalf("loaded %d entries, stored %d", len(loaded), stored)
+	}
+	// The prefix kept must be the hottest entries, in rank order.
+	for i, ph := range loaded {
+		if ph != ranked[i] {
+			t.Fatalf("loaded[%d] = %v, want %v", i, ph, ranked[i])
+		}
+	}
+}
+
+func TestDecay(t *testing.T) {
+	mem := newMem(t)
+	tr, _, err := Attach(mem, 4<<10, 0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		tr.Touch(pid(2, 0))
+	}
+	tr.Touch(pid(2, 1))
+	tr.DecayN(1)
+	if w := tr.Weight(pid(2, 0)); w != 32 {
+		t.Fatalf("after one halving, weight = %d, want 32", w)
+	}
+	if w := tr.Weight(pid(2, 1)); w != 0 {
+		t.Fatalf("count of 1 should decay away, got %d", w)
+	}
+	tr.DecayN(10)
+	if r := tr.Ranking(); len(r) != 0 {
+		t.Fatalf("ranking should be empty after deep decay, got %v", r)
+	}
+}
+
+func TestPeriodicPersist(t *testing.T) {
+	mem := newMem(t)
+	tr, _, err := Attach(mem, 4<<10, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var persists int
+	tr.OnPersist = func(parts, bytes int) { persists++ }
+	for i := 0; i < 25; i++ {
+		tr.Touch(pid(2, 0))
+	}
+	if persists != 3 {
+		t.Fatalf("25 touches at cadence 8 -> %d persists, want 3", persists)
+	}
+	_, recovered, err := Attach(mem, 4<<10, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0].PID != pid(2, 0) {
+		t.Fatalf("recovered %v, want P(2.0)", recovered)
+	}
+}
+
+func TestAttachDisabledFreesRegion(t *testing.T) {
+	mem := newMem(t)
+	tr, _, err := Attach(mem, 4<<10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Touch(pid(2, 0))
+	tr.Persist()
+	used := mem.Used()
+	if used == 0 {
+		t.Fatal("snapshot region should reserve stable bytes")
+	}
+	tr2, recovered, err := Attach(mem, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2 != nil {
+		t.Fatal("disabled attach should return a nil tracker")
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("prior ranking must still be recovered, got %v", recovered)
+	}
+	if mem.Used() != 0 {
+		t.Fatalf("region not freed: %d bytes still reserved", mem.Used())
+	}
+	// Nil tracker: every method is a no-op.
+	tr2.Touch(pid(2, 0))
+	tr2.Persist()
+	if tr2.Ranking() != nil || tr2.Weight(pid(2, 0)) != 0 {
+		t.Fatal("nil tracker should be inert")
+	}
+}
+
+func TestAttachResize(t *testing.T) {
+	mem := newMem(t)
+	tr, _, err := Attach(mem, 4<<10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		tr.Touch(pid(2, 3))
+	}
+	tr.Persist()
+	// Reattach with a different size: region reallocates, but the
+	// ranking must carry over (re-persisted into the new region).
+	_, recovered, err := Attach(mem, 8<<10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0].Weight != 9 {
+		t.Fatalf("recovered %v across resize, want P(2.3) w=9", recovered)
+	}
+	_, recovered2, err := Attach(mem, 8<<10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered2) != 1 || recovered2[0].Weight != 9 {
+		t.Fatalf("ranking lost after resize persist: %v", recovered2)
+	}
+}
+
+func TestConcurrentTouch(t *testing.T) {
+	mem := newMem(t)
+	tr, _, err := Attach(mem, 4<<10, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Touch(pid(2, uint32(i%16)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, ph := range tr.Ranking() {
+		total += ph.Weight
+	}
+	if total != goroutines*per {
+		t.Fatalf("total weight = %d, want %d", total, goroutines*per)
+	}
+}

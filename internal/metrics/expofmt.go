@@ -1,0 +1,270 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses Prometheus text exposition (version 0.0.4)
+// and checks structural invariants beyond raw syntax:
+//
+//   - metric and label names match the Prometheus alphabets;
+//   - every sample's family has a preceding # TYPE line, and sample
+//     suffixes agree with the declared type (_bucket/_sum/_count only
+//     on histograms and summaries);
+//   - histogram buckets are cumulative (non-decreasing in le order),
+//     end with le="+Inf", and the +Inf bucket equals _count;
+//   - _count is present wherever _sum is, and vice versa.
+//
+// It returns the number of samples parsed. The CI smoke job and the
+// writer's own tests share it, so "parses as valid" means the same
+// thing in both places.
+func ValidateExposition(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	types := map[string]string{}      // family -> declared type
+	bucketCum := map[string]int64{}   // family -> last cumulative bucket value
+	bucketClosed := map[string]bool{} // family -> saw le="+Inf"
+	bucketCount := map[string]int64{} // family -> +Inf bucket value
+	sumSeen := map[string]bool{}
+	countSeen := map[string]int64{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 2 && (f[1] == "TYPE" || f[1] == "HELP") {
+				if len(f) < 3 || !validMetricName(f[2]) {
+					return samples, fmt.Errorf("line %d: malformed %s comment: %q", lineNo, f[1], line)
+				}
+				if f[1] == "TYPE" {
+					if len(f) != 4 {
+						return samples, fmt.Errorf("line %d: TYPE needs exactly a name and a type: %q", lineNo, line)
+					}
+					switch f[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return samples, fmt.Errorf("line %d: unknown metric type %q", lineNo, f[3])
+					}
+					if _, dup := types[f[2]]; dup {
+						return samples, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, f[2])
+					}
+					types[f[2]] = f[3]
+				}
+			}
+			continue
+		}
+		name, labels, value, perr := parseSample(line)
+		if perr != nil {
+			return samples, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		samples++
+		family, suffix := splitFamily(name, types)
+		typ := types[family]
+		if typ == "" {
+			return samples, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		switch suffix {
+		case "":
+			if typ == "histogram" {
+				return samples, fmt.Errorf("line %d: bare sample %q inside histogram family", lineNo, name)
+			}
+		case "_bucket":
+			if typ != "histogram" {
+				return samples, fmt.Errorf("line %d: _bucket sample in non-histogram family %q", lineNo, family)
+			}
+			le, ok := labels["le"]
+			if !ok {
+				return samples, fmt.Errorf("line %d: histogram bucket without le label: %q", lineNo, line)
+			}
+			if bucketClosed[family] {
+				return samples, fmt.Errorf("line %d: bucket after le=\"+Inf\" in family %q", lineNo, family)
+			}
+			cum := int64(value)
+			if prev, seen := bucketCum[family]; seen && cum < prev {
+				return samples, fmt.Errorf("line %d: bucket counts of %q not cumulative: %d after %d", lineNo, family, cum, prev)
+			}
+			bucketCum[family] = cum
+			if le == "+Inf" {
+				bucketClosed[family] = true
+				bucketCount[family] = cum
+			} else if _, ferr := strconv.ParseFloat(le, 64); ferr != nil {
+				return samples, fmt.Errorf("line %d: non-numeric le=%q", lineNo, le)
+			}
+		case "_sum":
+			sumSeen[family] = true
+		case "_count":
+			countSeen[family] = int64(value)
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return samples, serr
+	}
+	for family, typ := range types {
+		if typ != "histogram" && typ != "summary" {
+			continue
+		}
+		if !sumSeen[family] {
+			return samples, fmt.Errorf("family %q (%s) missing _sum", family, typ)
+		}
+		count, ok := countSeen[family]
+		if !ok {
+			return samples, fmt.Errorf("family %q (%s) missing _count", family, typ)
+		}
+		if typ == "histogram" {
+			if !bucketClosed[family] {
+				return samples, fmt.Errorf("histogram %q has no le=\"+Inf\" bucket", family)
+			}
+			if inf := bucketCount[family]; inf != count {
+				return samples, fmt.Errorf("histogram %q: +Inf bucket %d != _count %d", family, inf, count)
+			}
+		}
+	}
+	return samples, nil
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelNameRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+func validMetricName(s string) bool { return metricNameRe.MatchString(s) }
+
+// splitFamily strips a histogram/summary series suffix, attributing
+// the sample to its declared family. A name that is itself a declared
+// family (e.g. a counter literally ending in _total) keeps the whole
+// name.
+func splitFamily(name string, types map[string]string) (family, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			base := strings.TrimSuffix(name, s)
+			if _, ok := types[base]; ok {
+				return base, s
+			}
+		}
+	}
+	return name, ""
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end, lerr := parseLabels(rest[brace:], labels)
+		if lerr != nil {
+			return "", nil, 0, lerr
+		}
+		rest = strings.TrimLeft(rest[brace+end:], " \t")
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample without value: %q", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimLeft(rest[sp:], " \t")
+	}
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0] == '{',
+// returning the index just past the closing brace.
+func parseLabels(s string, out map[string]string) (end int, err error) {
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("unterminated label block: %q", s)
+		}
+		lname := s[i : i+eq]
+		if !labelNameRe.MatchString(lname) {
+			return 0, fmt.Errorf("invalid label name %q", lname)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %q value not quoted", lname)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated label value for %q", lname)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling escape in label %q", lname)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("bad escape \\%c in label %q", s[i+1], lname)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[lname] = val.String()
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid sample value %q", s)
+	}
+	return v, nil
+}

@@ -135,6 +135,20 @@ type HistogramValue struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	// Buckets lists the non-empty power-of-two buckets in ascending
+	// bound order, for exporters that need the full distribution (the
+	// Prometheus text-exposition writer). Counts are per-bucket, not
+	// cumulative.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one non-empty histogram bucket: Count observations
+// fell in [Lo, Hi) of the histogram's unit. The last representable
+// bucket has Hi == math.MaxInt64 (rendered as +Inf by exporters).
+type HistogramBucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
 }
 
 // snapshot computes the exported view. Concurrent observations may land
@@ -156,6 +170,13 @@ func (h *Histogram) snapshot() HistogramValue {
 	v.Sum = h.sum.Load()
 	if total == 0 {
 		return v
+	}
+	for i := range counts {
+		if counts[i] == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		v.Buckets = append(v.Buckets, HistogramBucket{Lo: lo, Hi: hi, Count: counts[i]})
 	}
 	v.Mean = float64(v.Sum) / float64(total)
 	if m := h.min.Load(); m > 0 {

@@ -158,8 +158,9 @@ func (s *Subsystem) register(m *metric) {
 // Registry is an ordered collection of subsystems; one registry serves
 // one DB instance, so concurrent databases never share counters.
 type Registry struct {
-	mu   sync.Mutex
-	subs []*Subsystem
+	mu       sync.Mutex
+	subs     []*Subsystem
+	samplers []func()
 }
 
 // NewRegistry creates an empty registry.
@@ -180,6 +181,20 @@ func (r *Registry) Subsystem(name string) *Subsystem {
 	return s
 }
 
+// OnSnapshot registers a sampler run at the start of every Snapshot
+// call, before the instruments are read. Samplers refresh gauges whose
+// source is pull-based (Go runtime telemetry) rather than event-driven,
+// so scrapes always see current values without a background poller.
+// Safe on a nil receiver.
+func (r *Registry) OnSnapshot(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.samplers = append(r.samplers, fn)
+	r.mu.Unlock()
+}
+
 // Snapshot captures every instrument in the registry. The result is
 // plain data: safe to marshal, format, or diff. Counters within a
 // subsystem keep registration order; subsystems keep creation order.
@@ -189,7 +204,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Lock()
 	subs := append([]*Subsystem(nil), r.subs...)
+	samplers := append(make([]func(), 0, len(r.samplers)), r.samplers...)
 	r.mu.Unlock()
+	for _, fn := range samplers {
+		fn()
+	}
 	out := Snapshot{TakenAt: time.Now()}
 	for _, s := range subs {
 		s.mu.Lock()

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntime adds a "runtime" subsystem of Go process telemetry to
+// the registry — goroutine count, heap bytes, GC activity with a pause
+// histogram, and process uptime — refreshed by an OnSnapshot sampler,
+// so every scrape sees current values with no background poller. The
+// caller owns exactly one registry per process side (the server
+// registry, which outlives crash/recover cycles of the DB registry, is
+// the natural host).
+func RegisterRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	rt := reg.Subsystem("runtime")
+	goroutines := rt.Gauge("goroutines", "goroutines", "live goroutines at snapshot time")
+	heapAlloc := rt.Gauge("heap_alloc", "bytes", "bytes of allocated heap objects")
+	heapSys := rt.Gauge("heap_sys", "bytes", "heap bytes obtained from the OS")
+	gcCycles := rt.Gauge("gc_cycles", "cycles", "completed GC cycles since process start")
+	gcPause := rt.Histogram("gc_pause", "ns", "stop-the-world GC pause durations (sampled from runtime.MemStats)")
+	uptime := rt.Gauge("uptime", "ns", "time since the registry's runtime sampler was installed")
+
+	start := time.Now()
+	var mu sync.Mutex
+	var lastGC uint32
+	reg.OnSnapshot(func() {
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		gcCycles.Set(int64(ms.NumGC))
+		uptime.Set(time.Since(start).Nanoseconds())
+		// PauseNs is a circular buffer of the last 256 pause times;
+		// observe only the cycles completed since the previous sample.
+		mu.Lock()
+		from := lastGC
+		if ms.NumGC-from > uint32(len(ms.PauseNs)) {
+			from = ms.NumGC - uint32(len(ms.PauseNs))
+		}
+		for i := from; i < ms.NumGC; i++ {
+			gcPause.Observe(int64(ms.PauseNs[i%uint32(len(ms.PauseNs))]))
+		}
+		lastGC = ms.NumGC
+		mu.Unlock()
+	})
+}

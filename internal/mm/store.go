@@ -19,6 +19,14 @@ var ErrNotResident = errors.New("mm: partition not memory-resident")
 // recovered"). It returns the recovered partition or an error.
 type ResolveFunc func(id addr.PartitionID) (*Partition, error)
 
+// Toucher receives one notification per partition access — the
+// heat tracker's hot-path seam. Implementations must be cheap and safe
+// for concurrent use; Partition calls it on every demand, resident or
+// not.
+type Toucher interface {
+	Touch(id addr.PartitionID)
+}
+
 // Store is the volatile memory manager: the set of segments making up
 // the primary, memory-resident copy of the database. It is discarded
 // wholesale by a crash.
@@ -29,6 +37,7 @@ type Store struct {
 	segs    map[addr.SegmentID]*segment
 	nextSeg addr.SegmentID
 	resolve ResolveFunc
+	heat    Toucher
 
 	// resolveMu guards inflight, the per-partition recovery coalescing
 	// map: distinct partitions recover concurrently (the parallel
@@ -71,6 +80,14 @@ func (st *Store) SetResolve(fn ResolveFunc) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.resolve = fn
+}
+
+// SetHeat installs the access-heat sink consulted on every Partition
+// demand. nil disables tracking.
+func (st *Store) SetHeat(h Toucher) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.heat = h
 }
 
 // CreateSegment allocates a fresh segment ID for a new database object.
@@ -192,7 +209,11 @@ func (st *Store) Partition(id addr.PartitionID) (*Partition, error) {
 		p = s.parts[id.Part]
 	}
 	resolve := st.resolve
+	heat := st.heat
 	st.mu.RUnlock()
+	if heat != nil {
+		heat.Touch(id)
+	}
 	if p != nil {
 		return p, nil
 	}

@@ -1,0 +1,101 @@
+package server
+
+// The HTTP ops plane: a side port (separate from the binary wire
+// protocol) for operators and scrapers. Endpoints:
+//
+//	/metrics      — Prometheus text exposition of the DB registry (dies
+//	                with each crash+recover cycle) merged with the
+//	                server's own (spans cycles, hosts runtime telemetry)
+//	/healthz      — 200 "ready" / 503 "recovering" consistent with the
+//	                wire protocol's typed StatusRecovering rejections
+//	/recovery     — JSON restart progress: partitions recovered vs
+//	                total, heat-weighted fraction restored,
+//	                time-to-p99-restored, the top-K hottest pre-crash
+//	                partitions with residency
+//	/debug/pprof/ — the standard Go profiling handlers
+//
+// The handler tolerates a mid-crash instance swap: every request takes
+// its own shared hold on the db pointer.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"mmdb/internal/metrics"
+)
+
+// opsTopHotDefault is /recovery's top-hot list size without ?top=.
+const opsTopHotDefault = 10
+
+// OpsHandler returns the HTTP ops-plane handler. Serve it on a side
+// port (cmd/mmdbserve -http); it must never share the wire-protocol
+// listener.
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.opsMetrics)
+	mux.HandleFunc("/healthz", s.opsHealth)
+	mux.HandleFunc("/recovery", s.opsRecovery)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) opsMetrics(w http.ResponseWriter, r *http.Request) {
+	snaps := []metrics.Snapshot{s.reg.Snapshot()}
+	s.dbMu.RLock()
+	db := s.db
+	s.dbMu.RUnlock()
+	if db != nil {
+		snaps = append(snaps, db.Metrics())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metrics.WritePrometheus(w, metrics.MergeSnapshots(snaps...), "mmdb")
+}
+
+func (s *Server) opsHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.dbMu.RLock()
+	db := s.db
+	s.dbMu.RUnlock()
+	switch {
+	case db == nil:
+		http.Error(w, "shutdown", http.StatusServiceUnavailable)
+	case s.recovering.Load():
+		// Consistent with the wire protocol: while a crash+recover cycle
+		// runs, requests get typed StatusRecovering rejections, and the
+		// health probe reports not-ready.
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
+	default:
+		_, _ = w.Write([]byte("ready\n"))
+	}
+}
+
+func (s *Server) opsRecovery(w http.ResponseWriter, r *http.Request) {
+	topK := opsTopHotDefault
+	if v := r.URL.Query().Get("top"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			topK = n
+		}
+	}
+	s.dbMu.RLock()
+	db := s.db
+	s.dbMu.RUnlock()
+	if db == nil {
+		http.Error(w, `{"error":"shutdown"}`, http.StatusServiceUnavailable)
+		return
+	}
+	p := db.RecoveryProgress(topK)
+	// The wire-level recovering flag covers the window where the old
+	// instance is torn down but the new one has not published progress
+	// yet.
+	p.Recovering = p.Recovering || s.recovering.Load()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(p)
+}

@@ -208,8 +208,8 @@ type Response struct {
 	Status Status
 	Msg    string // non-OK: human-readable error
 
-	Addr   Row     // Insert: new row address
-	Tuple  []any   // Get: the tuple
+	Addr   Row   // Insert: new row address
+	Tuple  []any // Get: the tuple
 	Rows   []RowTuple
 	Schema []Col   // Schema
 	Seq    uint64  // DebitCredit: the sequence number now stored

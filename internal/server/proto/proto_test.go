@@ -152,15 +152,15 @@ func TestTornPayload(t *testing.T) {
 
 func TestCorruptFrames(t *testing.T) {
 	cases := map[string][]byte{
-		"zero length":       {0x00},
-		"oversized length":  appendUvarint(nil, MaxFrame+1),
-		"bad opcode":        {2, 1, 0xEE},
+		"zero length":      {0x00},
+		"oversized length": appendUvarint(nil, MaxFrame+1),
+		"bad opcode":       {2, 1, 0xEE},
 		"bad value tag": func() []byte {
 			b := AppendRequest(nil, &Request{ID: 1, Op: OpInsert, Rel: "r", Vals: []any{int64(1)}})
 			b[len(b)-2] = 0x7F // the value's tag byte
 			return b
 		}(),
-		"trailing garbage":  {3, 1, byte(OpPing), 0xAA},
+		"trailing garbage": {3, 1, byte(OpPing), 0xAA},
 		"huge string len": func() []byte {
 			p := append([]byte{1, byte(OpSchema)}, appendUvarint(nil, uint64(MaxString)+1)...)
 			return append(appendUvarint(nil, uint64(len(p))), p...)

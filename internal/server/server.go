@@ -152,6 +152,10 @@ func New(db *mmdb.DB, dbCfg mmdb.Config, cfg Config) (*Server, error) {
 		conns: make(map[uint64]*conn),
 		reg:   metrics.NewRegistry(),
 	}
+	// The server registry spans crash+recover cycles, so it also hosts
+	// the process-wide runtime telemetry (goroutines, heap, GC pauses,
+	// uptime), sampled when the registry is snapshotted.
+	metrics.RegisterRuntime(s.reg)
 	sub := s.reg.Subsystem("server")
 	s.mAccepted = sub.Counter("connections_accepted", "conns", "connections accepted since start")
 	s.mConns = sub.Gauge("connections_open", "conns", "currently open connections")

@@ -123,26 +123,37 @@ const (
 	KindNetDispatch
 	KindNetFlush
 
+	// Heat-aware recovery observability. HeatSnapshot is one persist of
+	// the partition-heat ranking into its stable region (Arg = entries
+	// persisted, Arg2 = payload bytes). SweepProgress is a periodic
+	// background-sweep checkpoint (Arg = partitions restored so far,
+	// Arg2 = sweep total). HeatP99Restored stamps the moment ≥99% of
+	// the pre-crash access weight is resident again (Arg = nanoseconds
+	// since Restart began) — the time-to-p99-restored moment.
+	KindHeatSnapshot
+	KindSweepProgress
+	KindHeatP99Restored
+
 	kindMax
 )
 
 var kindNames = [...]string{
-	KindInvalid:       "invalid",
-	KindTxnBegin:      "txn-begin",
-	KindTxnCommit:     "txn-commit",
-	KindTxnAbort:      "txn-abort",
-	KindLockBlock:     "lock-block",
-	KindLockGrant:     "lock-grant",
-	KindLockDeadlock:  "lock-deadlock",
-	KindSLBAppend:     "slb-append",
-	KindPageFlush:     "page-flush",
-	KindCkptBegin:     "ckpt-begin",
-	KindCkptTrack:     "ckpt-track",
-	KindCkptEnd:       "ckpt-end",
-	KindCkptFail:      "ckpt-fail",
-	KindRootScanBegin: "root-scan-begin",
-	KindRootScanEnd:   "root-scan-end",
-	KindPartRedo:      "part-redo",
+	KindInvalid:          "invalid",
+	KindTxnBegin:         "txn-begin",
+	KindTxnCommit:        "txn-commit",
+	KindTxnAbort:         "txn-abort",
+	KindLockBlock:        "lock-block",
+	KindLockGrant:        "lock-grant",
+	KindLockDeadlock:     "lock-deadlock",
+	KindSLBAppend:        "slb-append",
+	KindPageFlush:        "page-flush",
+	KindCkptBegin:        "ckpt-begin",
+	KindCkptTrack:        "ckpt-track",
+	KindCkptEnd:          "ckpt-end",
+	KindCkptFail:         "ckpt-fail",
+	KindRootScanBegin:    "root-scan-begin",
+	KindRootScanEnd:      "root-scan-end",
+	KindPartRedo:         "part-redo",
 	KindSweepBegin:       "sweep-begin",
 	KindSweepEnd:         "sweep-end",
 	KindSweepWorkerBegin: "sweep-worker-begin",
@@ -156,6 +167,9 @@ var kindNames = [...]string{
 	KindNetClose:         "net-close",
 	KindNetDispatch:      "net-dispatch",
 	KindNetFlush:         "net-flush",
+	KindHeatSnapshot:     "heat-snapshot",
+	KindSweepProgress:    "sweep-progress",
+	KindHeatP99Restored:  "heat-p99-restored",
 }
 
 func (k Kind) String() string {
@@ -183,8 +197,11 @@ func (k Kind) Subsystem() string {
 	case KindCkptBegin, KindCkptTrack, KindCkptEnd, KindCkptFail:
 		return "checkpoint"
 	case KindRootScanBegin, KindRootScanEnd, KindPartRedo, KindSweepBegin, KindSweepEnd,
-		KindSweepWorkerBegin, KindSweepWorkerEnd, KindSweepError:
+		KindSweepWorkerBegin, KindSweepWorkerEnd, KindSweepError,
+		KindSweepProgress, KindHeatP99Restored:
 		return "restart"
+	case KindHeatSnapshot:
+		return "heat"
 	case KindFaultTrigger:
 		return "fault"
 	case KindNetAccept, KindNetClose, KindNetDispatch, KindNetFlush:

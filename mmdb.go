@@ -66,6 +66,14 @@ type TraceEvent = trace.Event
 // Hardware is the crash-surviving hardware bundle.
 type Hardware = core.Hardware
 
+// RecoveryProgress is the live restart-progress view served by the ops
+// plane's /recovery endpoint; HotPartition is one entry of its top-hot
+// list. See DB.RecoveryProgress.
+type (
+	RecoveryProgress = core.RecoveryProgress
+	HotPartition     = core.HotPartition
+)
+
 // Errors returned by the facade.
 var (
 	ErrExists   = errors.New("mmdb: object already exists")
@@ -534,6 +542,15 @@ func (db *DB) ExportCrashChromeTrace(w io.Writer) error {
 
 // Manager exposes the recovery component (benchmarks, tools).
 func (db *DB) Manager() *core.Manager { return db.mgr }
+
+// RecoveryProgress snapshots the live restart progress — partitions
+// recovered vs total, the heat-weighted fraction of pre-crash access
+// weight resident again, and the time-to-p99-restored stamp — plus the
+// topK hottest pre-crash partitions with their residency state. The ops
+// plane serves it as /recovery.
+func (db *DB) RecoveryProgress(topK int) core.RecoveryProgress {
+	return db.mgr.RecoveryProgress(topK)
+}
 
 // WaitIdle blocks until the recovery component is quiescent.
 func (db *DB) WaitIdle() { db.mgr.WaitIdle() }
