@@ -30,12 +30,19 @@ import (
 // jsonReport is the machine-readable sweep result written by -json,
 // stable enough for CI artifact consumers to parse.
 type jsonReport struct {
-	Seed         int64            `json:"seed"`
-	PlansRun     int              `json:"plans_run"`
-	RulesFired   int              `json:"rules_fired"`
-	CrashesFired int              `json:"crashes_fired"`
-	BaselineHits map[string]int64 `json:"baseline_hits"`
-	Violations   []jsonViolation  `json:"violations"`
+	Seed           int64            `json:"seed"`
+	Depth          int              `json:"depth"`
+	PlansRun       int              `json:"plans_run"`
+	RulesFired     int              `json:"rules_fired"`
+	CrashesFired   int              `json:"crashes_fired"`
+	MutationsFired int              `json:"mutations_fired"`
+	ChainsFired    int              `json:"chains_fired"`
+	Livelocks      int              `json:"livelocks"`
+	BaselineHits   map[string]int64 `json:"baseline_hits"`
+	// Plans is the per-plan ledger: reproducer string, rule firings,
+	// power-cycle count, and the corruption-detection tallies.
+	Plans      []sweep.PlanStat `json:"plans"`
+	Violations []jsonViolation  `json:"violations"`
 }
 
 // jsonViolation is one failure with its reproducer plan and the
@@ -50,6 +57,9 @@ type jsonViolation struct {
 func writeJSON(path string, rep jsonReport) error {
 	if rep.Violations == nil {
 		rep.Violations = []jsonViolation{}
+	}
+	if rep.Plans == nil {
+		rep.Plans = []sweep.PlanStat{}
 	}
 	out := os.Stdout
 	if path != "-" {
@@ -72,6 +82,8 @@ func main() {
 		points   = flag.String("points", "all", "comma-separated fault points to sweep, or \"all\"")
 		perPoint = flag.Int("per-point", 0, "sampled hit indexes per (point, action) pair (0 = 8, or 6 with -short)")
 		maxPlans = flag.Int("max-plans", 0, "cap on enumerated plans (0 = no cap)")
+		depth    = flag.Int("depth", 1, "plan depth: 1 = exhaustive single-rule grid, 2 = budgeted sampler over chained (fault, recovery-fault) pairs")
+		budget   = flag.Int("budget", 0, "depth-2 plans drawn by the seeded sampler (0 = 200)")
 		short    = flag.Bool("short", false, "small sweep sized for CI")
 		planStr  = flag.String("plan", "", "replay one explicit plan instead of sweeping")
 		streams  = flag.Int("streams", 0, "SLB log streams for the swept database (0 = sweep default of 1)")
@@ -86,6 +98,8 @@ func main() {
 		Ops:         *ops,
 		PerPoint:    *perPoint,
 		MaxPlans:    *maxPlans,
+		Depth:       *depth,
+		Budget:      *budget,
 		LogStreams:  *streams,
 		BreakDuplex: *breakDup,
 	}
@@ -138,15 +152,21 @@ func main() {
 	}
 	sort.Strings(pts)
 	fmt.Printf("crashhunt: seed=%d baseline hits: %s\n", *seed, strings.Join(pts, " "))
-	fmt.Printf("crashhunt: %d plans run, %d rules fired, %d distinct crash points exercised, %d violations\n",
-		res.PlansRun, res.RulesFired, res.CrashesFired, len(res.Violations))
+	fmt.Printf("crashhunt: depth=%d: %d plans run, %d rules fired, %d distinct crash points, %d mutation plans fired, %d chains completed, %d livelocks, %d violations\n",
+		*depth, res.PlansRun, res.RulesFired, res.CrashesFired,
+		res.MutationsFired, res.ChainsFired, res.Livelocks, len(res.Violations))
 	if *jsonPath != "" {
 		rep := jsonReport{
-			Seed:         *seed,
-			PlansRun:     res.PlansRun,
-			RulesFired:   res.RulesFired,
-			CrashesFired: res.CrashesFired,
-			BaselineHits: make(map[string]int64, len(res.BaselineHits)),
+			Seed:           *seed,
+			Depth:          *depth,
+			PlansRun:       res.PlansRun,
+			RulesFired:     res.RulesFired,
+			CrashesFired:   res.CrashesFired,
+			MutationsFired: res.MutationsFired,
+			ChainsFired:    res.ChainsFired,
+			Livelocks:      res.Livelocks,
+			BaselineHits:   make(map[string]int64, len(res.BaselineHits)),
+			Plans:          res.PlanStats,
 		}
 		for p, n := range res.BaselineHits {
 			rep.BaselineHits[string(p)] = n

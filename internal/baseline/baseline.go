@@ -147,7 +147,10 @@ func (e *Engine) Recover(partSize int) (*mm.Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("baseline: image of %v: %w", pid, err)
 		}
-		p := mm.FromImage(pid, img)
+		p, err := mm.FromImage(pid, img)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: image of %v: %w", pid, err)
+		}
 		store.EnsureSegment(pid.Segment)
 		store.Install(p)
 		byPID[pid] = p

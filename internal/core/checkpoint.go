@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"time"
@@ -201,6 +202,17 @@ func (m *Manager) runCheckpoint(req *ckptReq) error {
 	if err := m.hw.Ckpt.WriteTrack(track, img); err != nil {
 		m.dmap.free(track)
 		return err
+	}
+	// Write-verify: a mutation fault can rot the image bytes while
+	// WriteTrack reports success and the track keeps valid sector ECC.
+	// TrackState inspects the stored bytes without touching the
+	// ckpt.read fault point; a mismatch fails this attempt into the
+	// normal retry path while the superseded image is still live (§2.4
+	// never overwrites the old copy, so the failure costs nothing).
+	if stored, bad, ok := m.hw.Ckpt.TrackState(track); !ok || bad || !bytes.Equal(stored, img) {
+		m.metrics.CkptVerifyFailed.Inc()
+		m.dmap.free(track)
+		return fmt.Errorf("core: checkpoint write-verify of %v failed on track %d", pid, track)
 	}
 	m.tracer.Emit(pidEvent(trace.Event{
 		Kind: trace.KindCkptTrack, Txn: t.ID(), Arg: uint64(track),

@@ -335,7 +335,10 @@ func TestLenientReplayOntoNewerImage(t *testing.T) {
 	// p is now the "image that already contains everything" (a
 	// checkpoint taken after the fence). Replay the full history onto
 	// it.
-	img := mm.FromImage(pid, p.Snapshot())
+	img, err := mm.FromImage(pid, p.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := applyRecords(img, recs); err != nil {
 		t.Fatal(err)
 	}

@@ -236,3 +236,47 @@ func TestHeatDisabledIsInert(t *testing.T) {
 		t.Fatalf("PartsRecovered = %d, want %d", p.PartsRecovered, len(pids))
 	}
 }
+
+// TestCorruptHeatSnapshotFallsBackToCatalogOrder rots every generation
+// slot of the stable heat snapshot (valid magic, bad CRC) and crashes.
+// Restart must succeed with no error, the loader must reject the
+// ranking — surfaced on heat/snapshot_rejected — and the sweep must
+// fall back to clean catalog order with every row still recovered.
+func TestCorruptHeatSnapshotFallsBackToCatalogOrder(t *testing.T) {
+	cfg := heatCfg()
+	cfg.RecoveryWorkers = 1
+	h := newHarness(t, cfg)
+	h.start()
+	want, pids := seedPartitions(h, 6)
+	touchSkewed(h, pids)
+	h.m.Heat().Persist()
+	h.m.Heat().Snap().CorruptSlots()
+
+	sweepCrash(h, pids) // fails the test if Restart errors
+	defer h.m.Stop()
+
+	if got := h.m.RecoveredHeat(); len(got) != 0 {
+		t.Fatalf("rotted snapshot still recovered a ranking: %v", got)
+	}
+	if n := h.m.MetricsSnapshot().Subsystem("heat").Counter("snapshot_rejected"); n < 1 {
+		t.Fatalf("heat/snapshot_rejected = %d, want >= 1", n)
+	}
+	h.m.Resume()
+	h.m.Sweep()
+
+	var begin trace.Event
+	for _, e := range h.m.TraceEvents() {
+		if e.Kind == trace.KindSweepBegin {
+			begin = e
+		}
+	}
+	if begin.Kind != trace.KindSweepBegin || begin.Arg != 0 {
+		t.Fatalf("sweep begin = %+v, want catalog-order fallback (Arg=0)", begin)
+	}
+	for a, w := range want {
+		got, err := h.store.Read(a)
+		if err != nil || !bytes.Equal(got, w) {
+			t.Fatalf("%v = %q (%v), want %q", a, got, err, w)
+		}
+	}
+}

@@ -175,13 +175,16 @@ func New(hw *Hardware, cfg Config, store *mm.Store, locks *lock.Manager) (*Manag
 	// Attach the heat tracker after the tracer, so the prior generation's
 	// ranking (recovered from the stable snapshot region) can seed the
 	// restart-progress state and heat events are traced from the start.
-	ht, recovered, err := heat.Attach(hw.Stable, cfg.HeatSnapshotBytes, cfg.HeatPersistEvery, cfg.HeatHalfLife)
+	ht, recovered, rejected, err := heat.Attach(hw.Stable, cfg.HeatSnapshotBytes, cfg.HeatPersistEvery, cfg.HeatHalfLife)
 	if err != nil {
 		return nil, err
 	}
 	m.heat = ht
 	m.prog.init(recovered)
 	mt.HeatRecoveredParts.Set(int64(len(recovered)))
+	// A rotted snapshot slot is rejected, not fatal: the sweep falls
+	// back to catalog order and the rejection is surfaced here.
+	mt.HeatSnapshotRejects.Add(int64(rejected))
 	if ht != nil {
 		ht.Touches = mt.HeatTouches
 		ht.Persists = mt.HeatPersists
@@ -206,9 +209,11 @@ func New(hw *Hardware, cfg Config, store *mm.Store, locks *lock.Manager) (*Manag
 	hw.Log.Fallbacks = mt.DuplexFallbacks
 	hw.Log.Repairs = mt.DuplexRepairs
 	m.inj.SetCounters(fault.Counters{
-		Armed:      mt.FaultsArmed,
-		Triggered:  mt.FaultsTriggered,
-		TornWrites: mt.FaultTornWrites,
+		Armed:          mt.FaultsArmed,
+		Triggered:      mt.FaultsTriggered,
+		TornWrites:     mt.FaultTornWrites,
+		MutationsArmed: mt.MutationsArmed,
+		MutationsFired: mt.MutationsFired,
 	})
 	return m, nil
 }
@@ -381,9 +386,25 @@ func (m *Manager) sortChain(c *txnChain) error {
 	cost := m.cfg.Cost
 	var pending []*wal.Record
 	for _, blk := range c.blocks {
-		recs, err := wal.DecodeAll(blk.Bytes())
+		buf := blk.Bytes()
+		recs, err := wal.DecodeAll(buf)
 		if err != nil {
-			return err
+			// Rotted bytes inside a committed chain — a mutation act or
+			// genuine stable-memory decay. The record CRC turned what
+			// would be silent misapplication into a typed decode error:
+			// sort the clean prefix and quarantine the corrupt suffix
+			// (record boundaries past the rot cannot be resynchronised
+			// in a varint stream), counting and tracing the loss so
+			// crash sweeps can tell detected damage from silence.
+			valid := wal.ValidPrefix(buf)
+			recs, _ = wal.DecodeAll(buf[:valid])
+			m.metrics.CorruptDetected.Inc()
+			m.metrics.QuarantinedRecords.Inc()
+			m.tracer.Emit(trace.Event{
+				Kind: trace.KindRecordQuarantine, Txn: c.id,
+				Arg: uint64(valid), Arg2: uint64(len(buf) - valid),
+				Str: err.Error(),
+			})
 		}
 		for i := range recs {
 			pending = append(pending, &recs[i])

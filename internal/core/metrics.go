@@ -80,15 +80,23 @@ type Metrics struct {
 	RestartPartsTotal   *metrics.Gauge
 	HeatWeightPPM       *metrics.Gauge
 	TTP99Restored       *metrics.Gauge
+	// Replay-side corruption detection: every record or page that fails
+	// its CRC/format check during sort or replay is quarantined (skipped
+	// and counted), never applied. CorruptDetected counts detection
+	// events across all replay parsers; QuarantinedRecords counts the
+	// records confirmed lost to a quarantined byte range.
+	QuarantinedRecords *metrics.Counter
+	CorruptDetected    *metrics.Counter
 
 	// heat — per-partition access-heat tracking (internal/heat): the
 	// crash-surviving ranking behind heat-ordered recovery.
-	HeatTouches        *metrics.Counter
-	HeatPersists       *metrics.Counter
-	HeatDecays         *metrics.Counter
-	HeatTrackedParts   *metrics.Gauge
-	HeatSnapshotBytes  *metrics.Gauge
-	HeatRecoveredParts *metrics.Gauge
+	HeatTouches         *metrics.Counter
+	HeatPersists        *metrics.Counter
+	HeatDecays          *metrics.Counter
+	HeatTrackedParts    *metrics.Gauge
+	HeatSnapshotBytes   *metrics.Gauge
+	HeatRecoveredParts  *metrics.Gauge
+	HeatSnapshotRejects *metrics.Counter
 
 	// lock — contention on the 2PL substrate.
 	LockWait  *metrics.Histogram
@@ -100,8 +108,15 @@ type Metrics struct {
 	FaultsArmed     *metrics.Counter
 	FaultsTriggered *metrics.Counter
 	FaultTornWrites *metrics.Counter
+	MutationsArmed  *metrics.Counter
+	MutationsFired  *metrics.Counter
 	DuplexFallbacks *metrics.Counter
 	DuplexRepairs   *metrics.Counter
+
+	// checkpoint write-verify: image writes whose stored bytes did not
+	// match what the checkpoint transaction meant to write (silent track
+	// rot caught before the catalog switched to the new image).
+	CkptVerifyFailed *metrics.Counter
 }
 
 // newMetrics builds the instrument set on a fresh registry. streams is
@@ -161,6 +176,8 @@ func newMetrics(streams int) *Metrics {
 		CkptCompleted:     ckpt.Counter("completed", "ckpts", "checkpoint transactions committed"),
 		CkptFailed:        ckpt.Counter("failed", "ckpts", "checkpoint attempts that aborted"),
 		CkptAbandoned:     ckpt.Counter("abandoned", "ckpts", "requests dropped after repeated failures"),
+		CkptVerifyFailed: ckpt.Counter("verify_failed", "ckpts",
+			"image writes whose read-back bytes mismatched (silent track rot detected by write-verify)"),
 
 		RestartRootScan: restart.Histogram("root_scan", "ns",
 			"stable-root + catalog restore time before the first transaction (§2.5)"),
@@ -179,6 +196,10 @@ func newMetrics(streams int) *Metrics {
 			"parts-per-million of pre-crash access weight resident again (heat-weighted restart progress)"),
 		TTP99Restored: restart.Gauge("ttp99_restored", "ns",
 			"time from Restart until >=99% of pre-crash access weight was resident (0 until stamped)"),
+		QuarantinedRecords: restart.Counter("quarantined_records", "records",
+			"REDO records lost to quarantined corrupt byte ranges during sort/replay (never applied)"),
+		CorruptDetected: restart.Counter("corrupt_records_detected", "events",
+			"replay-side corruption detections: record CRC, page checksum, or image validation failures"),
 
 		HeatTouches:  heatS.Counter("touches", "touches", "partition accesses recorded by the heat tracker"),
 		HeatPersists: heatS.Counter("persists", "persists", "heat-ranking serialisations into the stable snapshot region"),
@@ -189,6 +210,8 @@ func newMetrics(streams int) *Metrics {
 			"payload bytes of the last persisted heat snapshot"),
 		HeatRecoveredParts: heatS.Gauge("recovered_partitions", "parts",
 			"entries in the pre-crash heat ranking recovered at attach"),
+		HeatSnapshotRejects: heatS.Counter("snapshot_rejected", "slots",
+			"snapshot slots rejected at attach (bad magic, bounds, or CRC); recovery falls back to catalog order"),
 
 		LockWait: lockS.Histogram("wait", "ns",
 			"time transactions spend blocked on 2PL lock queues"),
@@ -197,6 +220,8 @@ func newMetrics(streams int) *Metrics {
 		FaultsArmed:     faultS.Counter("armed", "rules", "fault rules armed via injector plans"),
 		FaultsTriggered: faultS.Counter("triggered", "firings", "fault rule firings (crashes, I/O errors, corruptions)"),
 		FaultTornWrites: faultS.Counter("torn_writes", "writes", "writes torn at a byte boundary by an injected crash"),
+		MutationsArmed:  faultS.Counter("mutations_armed", "rules", "armed fault rules with byte-mutation acts (flip/zero/trunc/splice)"),
+		MutationsFired:  faultS.Counter("mutations_fired", "firings", "mutation-act firings: payloads silently damaged with valid ECC"),
 		DuplexFallbacks: faultS.Counter("duplex_fallbacks", "reads", "log reads served by the mirror after a primary error (§2.2)"),
 		DuplexRepairs:   faultS.Counter("duplex_repairs", "pages", "damaged/missing log-disk copies rewritten from the healthy spindle (§2.2)"),
 	}

@@ -120,9 +120,21 @@ func (m *Manager) DrainStableOnly() {
 		// whole record so the restart re-sort appends cleanly. The torn
 		// record's transaction chain is still on the committed list
 		// (chains leave the SLB only after a full sort), so the record
-		// is re-sorted, not lost.
+		// is re-sorted, not lost. A CRC mismatch at the cut, though, is
+		// rot rather than a torn append — the damaged suffix may belong
+		// to already-sorted chains, so it counts as quarantined.
 		if b.cur != nil && b.cur.Len() > 0 {
-			if n := wal.ValidPrefix(b.cur.Bytes()); n < b.cur.Len() {
+			buf := b.cur.Bytes()
+			if n := wal.ValidPrefix(buf); n < len(buf) {
+				if _, _, derr := wal.Decode(buf[n:]); errors.Is(derr, wal.ErrChecksum) {
+					m.metrics.CorruptDetected.Inc()
+					m.metrics.QuarantinedRecords.Inc()
+					m.tracer.Emit(pidEvent(trace.Event{
+						Kind: trace.KindRecordQuarantine,
+						Arg:  uint64(n), Arg2: uint64(len(buf) - n),
+						Str: derr.Error(),
+					}, b.pid))
+				}
 				b.cur.Truncate(n)
 			}
 		}
@@ -375,10 +387,45 @@ func (m *Manager) RecoverPartition(pid addr.PartitionID, track simdisk.TrackLoc)
 	var p *mm.Partition
 	if track != simdisk.NilTrack {
 		img, err := m.hw.Ckpt.ReadTrack(track)
+		if errors.Is(err, simdisk.ErrNoSuchTrack) {
+			// The catalog points at a track the disk no longer holds.
+			// Byte rot can manufacture this: a quarantined catalog REDO
+			// record loses a checkpoint relocation, leaving the catalog
+			// aimed at the superseded track — which was physically freed
+			// after the (durably committed, then rotted-away) switch.
+			// The stale pointer is detected loss, not a restart-fatal
+			// condition: count it, trace it, and recover from an empty
+			// image plus whatever log records still replay below.
+			m.metrics.CorruptDetected.Inc()
+			m.metrics.QuarantinedRecords.Inc()
+			m.tracer.Emit(pidEvent(trace.Event{
+				Kind: trace.KindRecordQuarantine, Str: err.Error(),
+			}, pid))
+			img, err = nil, nil
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: reading checkpoint image of %v: %w", pid, err)
 		}
-		p = mm.FromImage(pid, img)
+		if img != nil {
+			p, err = mm.FromImage(pid, img)
+		} else {
+			p = mm.NewPartition(pid, m.cfg.PartitionSize)
+		}
+		if err != nil {
+			// The image is structurally rotted under valid ECC (a
+			// mutation fault or real decay the sector ECC missed).
+			// Recovery proceeds from an empty image: rows living only in
+			// the checkpoint are lost, but the loss is detected — counted
+			// and traced — never silently applied, and the log records
+			// since the checkpoint still replay below.
+			m.metrics.CorruptDetected.Inc()
+			m.metrics.QuarantinedRecords.Inc()
+			m.tracer.Emit(pidEvent(trace.Event{
+				Kind: trace.KindRecordQuarantine,
+				Arg2: uint64(len(img)), Str: err.Error(),
+			}, pid))
+			p = mm.NewPartition(pid, m.cfg.PartitionSize)
+		}
 	} else {
 		p = mm.NewPartition(pid, m.cfg.PartitionSize)
 	}
@@ -398,32 +445,66 @@ func (m *Manager) RecoverPartition(pid addr.PartitionID, track simdisk.TrackLoc)
 	}
 	m.slt.st.mu.Unlock()
 
+	// applyClean cuts a record stream back to its longest cleanly
+	// decodable prefix before applying it. A record whose CRC no longer
+	// matches is quarantined — counted and traced, never applied — and
+	// the boundaries past it cannot be resynchronised in a varint
+	// stream, so the corrupt suffix is surrendered with it.
 	applied := 0
+	applyClean := func(lsn simdisk.LSN, buf []byte) error {
+		if valid := wal.ValidPrefix(buf); valid < len(buf) {
+			_, _, derr := wal.Decode(buf[valid:])
+			m.metrics.CorruptDetected.Inc()
+			m.metrics.QuarantinedRecords.Inc()
+			m.tracer.Emit(pidEvent(trace.Event{
+				Kind: trace.KindRecordQuarantine, LSN: uint64(lsn),
+				Arg: uint64(valid), Arg2: uint64(len(buf) - valid),
+				Str: derr.Error(),
+			}, pid))
+			buf = buf[:valid]
+		}
+		n, err := applyRecords(p, buf)
+		applied += n
+		return err
+	}
 	for _, lsn := range pages {
-		raw, err := m.hw.Log.Read(lsn)
+		// Verified duplex read (§2.2): a page that passes sector ECC but
+		// fails its checksum or partition-address check falls back to the
+		// mirror copy, repairing the rotted primary from it.
+		var pg *wal.Page
+		_, err := m.hw.Log.ReadChecked(lsn, func(b []byte) error {
+			dp, derr := wal.DecodePage(b)
+			if derr != nil {
+				return derr
+			}
+			if derr := dp.CheckPID(pid); derr != nil {
+				return derr
+			}
+			pg = dp
+			return nil
+		})
 		if err != nil {
+			if errors.Is(err, wal.ErrCorrupt) {
+				// Both duplexed copies rotted: quarantine the whole page.
+				m.metrics.CorruptDetected.Inc()
+				m.metrics.QuarantinedRecords.Inc()
+				m.tracer.Emit(pidEvent(trace.Event{
+					Kind: trace.KindRecordQuarantine, LSN: uint64(lsn),
+					Str: err.Error(),
+				}, pid))
+				continue
+			}
 			return nil, fmt.Errorf("core: reading log page %d of %v: %w", lsn, pid, err)
 		}
-		pg, err := wal.DecodePage(raw)
-		if err != nil {
+		if err := applyClean(lsn, pg.Records); err != nil {
 			return nil, err
 		}
-		if err := pg.CheckPID(pid); err != nil {
-			return nil, err
-		}
-		n, err := applyRecords(p, pg.Records)
-		if err != nil {
-			return nil, err
-		}
-		applied += n
 		m.metrics.RecoveryLogPages.Add(1)
 	}
 	if len(curRecs) > 0 {
-		n, err := applyRecords(p, curRecs)
-		if err != nil {
+		if err := applyClean(simdisk.NilLSN, curRecs); err != nil {
 			return nil, err
 		}
-		applied += n
 	}
 	m.metrics.PartsRecovered.Add(1)
 	m.metrics.PartitionRecovery.ObserveSince(recStart)

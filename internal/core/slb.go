@@ -304,10 +304,15 @@ func (s *slb) WriteRecord(rec *wal.Record) error {
 	}
 	// Fault point "slb.append": one hit per record, per stream. A
 	// crash act with nothing applied (crash-before, ioerr) fails the
-	// write cleanly; crash-after lets the record land and then halts.
+	// write cleanly; crash-after lets the record land and then halts;
+	// a mutation act silently rots the record's bytes on the way into
+	// stable memory — the sorter's CRC check must quarantine it.
 	dec := s.inj.Check(fault.PointSLBAppend, len(enc))
 	if dec.Err != nil && dec.ApplyBytes(len(enc)) == 0 {
 		return fmt.Errorf("core: SLB stream %d append: %w", ls.id, dec.Err)
+	}
+	if dec.Mutated() {
+		enc = dec.MutateBytes(enc)
 	}
 	if n := len(c.blocks); n == 0 || c.blocks[n-1].Remaining() < len(enc) {
 		// Oversized records (e.g. large index directory nodes) get a

@@ -124,6 +124,24 @@ const (
 	// ActCorrupt lets the operation "succeed" while damaging the
 	// medium: a latent bad sector discovered on a later read.
 	ActCorrupt
+	// The mutation family: the operation "succeeds" but the payload is
+	// silently damaged at the byte level before it reaches the medium.
+	// Unlike ActCorrupt the stored sector keeps valid ECC, so the device
+	// cannot detect the rot — only a replay-side parser (record CRC,
+	// page checksum, image validation) can. A mutated record must be
+	// *detected*, never silently applied; the crashhunt sweep enforces
+	// that as an invariant.
+	//
+	// ActMutFlip flips a few deterministically chosen payload bits.
+	ActMutFlip
+	// ActMutZero zeroes a deterministically chosen run of payload bytes.
+	ActMutZero
+	// ActMutTrunc cuts the payload short: only a prefix is stored, with
+	// no torn-write ECC damage to betray it.
+	ActMutTrunc
+	// ActMutSplice overwrites a run of payload bytes with
+	// deterministically generated foreign garbage.
+	ActMutSplice
 )
 
 var actNames = map[Act]string{
@@ -132,6 +150,10 @@ var actNames = map[Act]string{
 	ActCrashTorn:   "crash-torn",
 	ActIOErr:       "ioerr",
 	ActCorrupt:     "corrupt",
+	ActMutFlip:     "flip",
+	ActMutZero:     "zero",
+	ActMutTrunc:    "trunc",
+	ActMutSplice:   "splice",
 }
 
 func (a Act) String() string {
@@ -144,6 +166,11 @@ func (a Act) String() string {
 // IsCrash reports whether the act halts the machine.
 func (a Act) IsCrash() bool {
 	return a == ActCrashBefore || a == ActCrashAfter || a == ActCrashTorn
+}
+
+// IsMutation reports whether the act silently damages payload bytes.
+func (a Act) IsMutation() bool {
+	return a == ActMutFlip || a == ActMutZero || a == ActMutTrunc || a == ActMutSplice
 }
 
 func parseAct(s string) (Act, error) {
@@ -165,9 +192,11 @@ type Rule struct {
 	// means every hit from Hit on.
 	Count int
 	Act   Act
-	// Torn is the number of payload bytes applied before an
-	// ActCrashTorn halt; negative derives a deterministic size from
-	// the plan seed, the hit index, and the payload length.
+	// Torn is the act's byte argument. For ActCrashTorn it is the
+	// number of payload bytes applied before the halt; for the mutation
+	// acts it parameterises the damage (flip: bits flipped, zero/splice:
+	// run length, trunc: bytes kept). Negative derives a deterministic
+	// value from the plan seed, the hit index, and the payload length.
 	Torn int
 }
 
@@ -195,30 +224,63 @@ func (r Rule) String() string {
 		fmt.Fprintf(&b, "+%d", r.Count)
 	}
 	fmt.Fprintf(&b, ":%s", r.Act)
-	if r.Act == ActCrashTorn && r.Torn >= 0 {
+	if (r.Act == ActCrashTorn || r.Act.IsMutation()) && r.Torn >= 0 {
 		fmt.Fprintf(&b, ":%d", r.Torn)
 	}
 	return b.String()
 }
 
-// Plan is a complete, reproducible fault schedule.
+// Plan is a complete, reproducible fault schedule. Rules is the first
+// stage, armed immediately; Then holds later stages, each armed only
+// once every rule of the previous stage has fired at least once. A
+// chained stage's hit indexes are counted relative to the moment it
+// arms, so "then crash at the 3rd slb.append hit of the recovery that
+// follows" is expressible without knowing absolute workload hit counts.
 type Plan struct {
 	Seed  int64
 	Rules []Rule
+	Then  [][]Rule
+}
+
+// Depth reports the number of stages (0 for a rule-less plan).
+func (p Plan) Depth() int {
+	if len(p.Rules) == 0 {
+		return 0
+	}
+	return 1 + len(p.Then)
+}
+
+// AllRules returns every rule across all stages, in stage order.
+func (p Plan) AllRules() []Rule {
+	out := append([]Rule(nil), p.Rules...)
+	for _, st := range p.Then {
+		out = append(out, st...)
+	}
+	return out
 }
 
 // String renders the plan as a one-line reproducer, e.g.
 // "seed=1;log.write.primary@3:crash-torn:17,ckpt.write@2:ioerr".
+// Chained stages are separated by '>':
+// "seed=1;ckpt.write@2:flip>slb.append@5:crash".
 func (p Plan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "seed=%d", p.Seed)
-	for i, r := range p.Rules {
-		if i == 0 {
-			b.WriteByte(';')
-		} else {
-			b.WriteByte(',')
+	writeStage := func(rules []Rule) {
+		for i, r := range rules {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(r.String())
 		}
-		b.WriteString(r.String())
+	}
+	if len(p.Rules) > 0 {
+		b.WriteByte(';')
+		writeStage(p.Rules)
+		for _, st := range p.Then {
+			b.WriteByte('>')
+			writeStage(st)
+		}
 	}
 	return b.String()
 }
@@ -238,12 +300,23 @@ func ParsePlan(s string) (Plan, error) {
 	if rest == "" {
 		return p, nil
 	}
-	for _, rs := range strings.Split(rest, ",") {
-		r, err := parseRule(rs)
-		if err != nil {
-			return p, err
+	for si, ss := range strings.Split(rest, ">") {
+		var stage []Rule
+		for _, rs := range strings.Split(ss, ",") {
+			r, err := parseRule(rs)
+			if err != nil {
+				return p, err
+			}
+			stage = append(stage, r)
 		}
-		p.Rules = append(p.Rules, r)
+		if len(stage) == 0 {
+			return p, fmt.Errorf("fault: empty stage in plan %q", s)
+		}
+		if si == 0 {
+			p.Rules = stage
+		} else {
+			p.Then = append(p.Then, stage)
+		}
 	}
 	return p, nil
 }
@@ -298,6 +371,16 @@ type Decision struct {
 	// MarkBad flags the written sector/track as damaged (bad ECC): a
 	// later read of it fails until it is rewritten.
 	MarkBad bool
+
+	// Mutation state, set when a mutation-act rule fired: the operation
+	// must pass its payload through MutateBytes and store (or return)
+	// the damaged copy instead. The fields pin the deterministic damage
+	// to (seed, point, hit) so a replayed plan mutates identically.
+	mutAct   Act
+	mutArg   int
+	mutSeed  int64
+	mutPoint Point
+	mutHit   int64
 }
 
 // proceed is the no-fault decision.
@@ -311,12 +394,98 @@ func (d Decision) ApplyBytes(n int) int {
 	return d.Apply
 }
 
+// Mutated reports whether the payload must be damaged before it
+// reaches the medium.
+func (d Decision) Mutated() bool { return d.mutAct.IsMutation() }
+
+// MutateBytes returns a damaged copy of payload p according to the
+// fired mutation rule. The damage is a pure function of the plan seed,
+// the point, the hit index, the rule argument, and len(p) — replays
+// rot the same bytes. The input is never modified; the result may be
+// shorter than the input (ActMutTrunc) but is always a fresh slice.
+func (d Decision) MutateBytes(p []byte) []byte {
+	if !d.Mutated() || len(p) == 0 {
+		return append([]byte(nil), p...)
+	}
+	out := append([]byte(nil), p...)
+	r := mutRand{state: mutSeed(d.mutSeed, d.mutPoint, d.mutHit)}
+	n := len(out)
+	switch d.mutAct {
+	case ActMutFlip:
+		bits := d.mutArg
+		if bits <= 0 {
+			bits = 1 + int(r.next()%3)
+		}
+		for i := 0; i < bits; i++ {
+			pos := int(r.next() % uint64(n))
+			out[pos] ^= 1 << (r.next() % 8)
+		}
+	case ActMutZero:
+		off, run := mutRun(&r, n, d.mutArg)
+		for i := off; i < off+run; i++ {
+			out[i] = 0
+		}
+	case ActMutTrunc:
+		keep := d.mutArg
+		if keep < 0 {
+			keep = int(r.next() % uint64(n))
+		}
+		if keep > n {
+			keep = n
+		}
+		out = out[:keep]
+	case ActMutSplice:
+		off, run := mutRun(&r, n, d.mutArg)
+		for i := off; i < off+run; i++ {
+			out[i] = byte(r.next())
+		}
+	}
+	return out
+}
+
+// mutRun picks a damage run [off, off+run) inside an n-byte payload;
+// arg >= 0 pins the run length.
+func mutRun(r *mutRand, n, arg int) (off, run int) {
+	run = arg
+	if run <= 0 {
+		run = 1 + int(r.next()%uint64(min(8, n)))
+	}
+	if run > n {
+		run = n
+	}
+	off = int(r.next() % uint64(n-run+1))
+	return off, run
+}
+
+// mutRand is a tiny splitmix-style generator so mutation draws are
+// deterministic without shared RNG state.
+type mutRand struct{ state uint64 }
+
+func (r *mutRand) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func mutSeed(seed int64, p Point, hit int64) uint64 {
+	h := uint64(seed) * 0x9E3779B97F4A7C15
+	for _, b := range []byte(p) {
+		h = (h ^ uint64(b)) * 0x100000001B3
+	}
+	h ^= uint64(hit) * 0xFF51AFD7ED558CCD
+	return h
+}
+
 // Counters are the observability hooks the recovery component wires
 // into its metrics registry; all fields are optional and nil-safe.
 type Counters struct {
-	Armed      *metrics.Counter // rules armed via plans
-	Triggered  *metrics.Counter // rule firings
-	TornWrites *metrics.Counter // writes torn at a byte boundary
+	Armed          *metrics.Counter // rules armed via plans
+	Triggered      *metrics.Counter // rule firings
+	TornWrites     *metrics.Counter // writes torn at a byte boundary
+	MutationsArmed *metrics.Counter // armed rules with mutation acts
+	MutationsFired *metrics.Counter // mutation-act firings
 }
 
 // EventSink observes rule firings for the trace layer: it receives the
@@ -329,18 +498,37 @@ type Counters struct {
 // instruments); the recovery component bridges the two.
 type EventSink func(p Point, hit int64, act Act)
 
+// armedRule is a rule live in the injector: base is the point's hit
+// count at the moment the rule's stage armed (0 for the first stage),
+// so chained-stage hit indexes are relative to arming; fired tracks
+// whether this rule has fired at least once (stage advancement).
+type armedRule struct {
+	Rule
+	base  int64
+	fired bool
+}
+
+func (ar *armedRule) matches(hit int64) bool {
+	return ar.Rule.matches(hit - ar.base)
+}
+
 // Injector evaluates a Plan against named fault points. All methods
 // are safe on a nil receiver (the off state) and for concurrent use.
 type Injector struct {
 	crashed atomic.Bool
 
-	mu       sync.Mutex
-	seed     int64
-	rules    map[Point][]Rule
-	hits     map[Point]int64
-	fired    int64
-	counters Counters
-	sink     EventSink
+	mu    sync.Mutex
+	seed  int64
+	rules map[Point][]*armedRule
+	// pending holds not-yet-armed chained stages; remaining counts the
+	// currently armed stage's rules that have not fired yet — when it
+	// reaches zero the next pending stage arms with fresh hit bases.
+	pending   [][]Rule
+	remaining int
+	hits      map[Point]int64
+	fired     int64
+	counters  Counters
+	sink      EventSink
 }
 
 // NewInjector creates an injector armed with plan (an empty plan gives
@@ -351,30 +539,63 @@ func NewInjector(plan Plan) *Injector {
 	return in
 }
 
-// Arm replaces the injector's rules and seed with plan's. Hit counters
-// are preserved; use Reset for a fully fresh start.
+// Arm replaces the injector's rules and seed with plan's: the first
+// stage arms immediately, chained stages (Plan.Then) arm as earlier
+// stages complete. Hit counters are preserved; use Reset for a fully
+// fresh start.
 func (in *Injector) Arm(plan Plan) {
 	if in == nil {
 		return
 	}
 	in.mu.Lock()
 	in.seed = plan.Seed
-	in.rules = make(map[Point][]Rule, len(plan.Rules))
-	for _, r := range plan.Rules {
-		in.rules[r.Point] = append(in.rules[r.Point], r)
-	}
+	in.rules = nil
+	in.pending = plan.Then
+	in.remaining = 0
+	in.armStageLocked(plan.Rules, 0)
 	c := in.counters
 	in.mu.Unlock()
 	c.Armed.Add(int64(len(plan.Rules)))
+	c.MutationsArmed.Add(countMutations(plan.Rules))
 }
 
-// Disarm removes every rule but keeps counting hits.
+// armStageLocked makes one stage's rules live. base 0 means absolute
+// hit indexes (the first stage); otherwise each rule's hit window is
+// anchored at its point's current hit count.
+func (in *Injector) armStageLocked(stage []Rule, stageIdx int) {
+	if in.rules == nil {
+		in.rules = make(map[Point][]*armedRule, len(stage))
+	}
+	for _, r := range stage {
+		var base int64
+		if stageIdx > 0 {
+			base = in.hits[r.Point]
+		}
+		in.rules[r.Point] = append(in.rules[r.Point], &armedRule{Rule: r, base: base})
+	}
+	in.remaining = len(stage)
+}
+
+func countMutations(rules []Rule) int64 {
+	var n int64
+	for _, r := range rules {
+		if r.Act.IsMutation() {
+			n++
+		}
+	}
+	return n
+}
+
+// Disarm removes every rule (pending stages included) but keeps
+// counting hits.
 func (in *Injector) Disarm() {
 	if in == nil {
 		return
 	}
 	in.mu.Lock()
 	in.rules = nil
+	in.pending = nil
+	in.remaining = 0
 	in.mu.Unlock()
 }
 
@@ -386,6 +607,8 @@ func (in *Injector) Reset() {
 	}
 	in.mu.Lock()
 	in.rules = nil
+	in.pending = nil
+	in.remaining = 0
 	in.hits = make(map[Point]int64)
 	in.fired = 0
 	in.mu.Unlock()
@@ -468,12 +691,18 @@ func (in *Injector) SetCounters(c Counters) {
 	}
 	in.mu.Lock()
 	in.counters = c
-	n := 0
+	var n, muts int64
 	for _, rs := range in.rules {
-		n += len(rs)
+		n += int64(len(rs))
+		for _, ar := range rs {
+			if ar.Act.IsMutation() {
+				muts++
+			}
+		}
 	}
 	in.mu.Unlock()
-	c.Armed.Add(int64(n))
+	c.Armed.Add(n)
+	c.MutationsArmed.Add(muts)
 }
 
 // SetEventSink installs the trace bridge invoked on every rule firing.
@@ -500,10 +729,10 @@ func (in *Injector) Check(p Point, size int) Decision {
 	in.mu.Lock()
 	hit := in.hits[p] + 1
 	in.hits[p] = hit
-	var match *Rule
-	for i := range in.rules[p] {
-		if in.rules[p][i].matches(hit) {
-			match = &in.rules[p][i]
+	var match *armedRule
+	for _, ar := range in.rules[p] {
+		if ar.matches(hit) {
+			match = ar
 			break
 		}
 	}
@@ -512,13 +741,31 @@ func (in *Injector) Check(p Point, size int) Decision {
 		return proceed
 	}
 	in.fired++
+	var stageArmed []Rule
+	if !match.fired {
+		match.fired = true
+		in.remaining--
+		if in.remaining == 0 && len(in.pending) > 0 {
+			// Every rule of the current stage has fired: arm the next
+			// chained stage, anchoring its hit windows at the current
+			// per-point counters (the hit that fired this rule included).
+			stageArmed = in.pending[0]
+			in.pending = in.pending[1:]
+			in.armStageLocked(stageArmed, 1)
+		}
+	}
 	c := in.counters
 	sink := in.sink
 	seed := in.seed
-	r := *match
+	r := match.Rule
+	relHit := hit - match.base
 	in.mu.Unlock()
 
 	c.Triggered.Inc()
+	if len(stageArmed) > 0 {
+		c.Armed.Add(int64(len(stageArmed)))
+		c.MutationsArmed.Add(countMutations(stageArmed))
+	}
 	if sink != nil {
 		// Recorded before the halt is applied, so a flight recorder can
 		// capture the trigger as its final pre-crash event.
@@ -536,7 +783,7 @@ func (in *Injector) Check(p Point, size int) Decision {
 		in.crashed.Store(true)
 		torn := r.Torn
 		if torn < 0 {
-			torn = tornSize(seed, p, hit, size)
+			torn = tornSize(seed, p, relHit, size)
 		}
 		if torn > size {
 			torn = size
@@ -547,6 +794,10 @@ func (in *Injector) Check(p Point, size int) Decision {
 		d = Decision{Err: ErrInjected, Apply: 0}
 	case ActCorrupt:
 		d = Decision{Apply: -1, MarkBad: true}
+	case ActMutFlip, ActMutZero, ActMutTrunc, ActMutSplice:
+		c.MutationsFired.Inc()
+		d = Decision{Apply: -1, mutAct: r.Act, mutArg: r.Torn,
+			mutSeed: seed, mutPoint: p, mutHit: relHit}
 	}
 	return d
 }

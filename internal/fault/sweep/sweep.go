@@ -29,6 +29,7 @@ import (
 	"mmdb/internal/fault"
 	"mmdb/internal/heap"
 	"mmdb/internal/simdisk"
+	"mmdb/internal/wal"
 )
 
 // nRels is the number of relations in the workload: one T-Tree indexed,
@@ -67,6 +68,16 @@ type Options struct {
 	// Points restricts the sweep to a subset of fault points; empty
 	// means every defined point.
 	Points []fault.Point
+	// Depth selects the plan shape: 1 (the default) enumerates
+	// single-rule plans exhaustively over the sampled hit grid; 2 draws
+	// Budget chained two-stage plans from the pair space — a first-order
+	// fault (crash, tear, I/O error, or byte mutation) whose firing arms
+	// a second rule aimed at the recovery phase that follows, with hit
+	// indexes counted relative to the arming instant.
+	Depth int
+	// Budget is how many depth-2 plans the seeded sampler draws (default
+	// 200). Ignored at depth 1.
+	Budget int
 	// LogStreams overrides the SLB stream count for the swept database
 	// (crashhunt -streams). 0 keeps the sweep default of 1 stream,
 	// which gives every plan a deterministic single-stream hit order;
@@ -93,9 +104,30 @@ func (o *Options) defaults() {
 	if o.PerPoint <= 0 {
 		o.PerPoint = 8
 	}
+	if o.Depth <= 0 {
+		o.Depth = 1
+	}
+	if o.Budget <= 0 {
+		o.Budget = 200
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+}
+
+// ErrRecoveryLivelock reports that a plan's power-cycle loop never
+// converged: recovery kept crashing (or kept being crashed) past the
+// maxRecoveryCycles backstop. It carries the reproducer plan so the
+// livelock can be replayed directly (crashhunt -plan "...").
+type ErrRecoveryLivelock struct {
+	// Plan is the one-line reproducer of the livelocking schedule.
+	Plan string
+	// Cycles is how many power cycles were attempted before giving up.
+	Cycles int
+}
+
+func (e *ErrRecoveryLivelock) Error() string {
+	return fmt.Sprintf("sweep: recovery livelock: plan %q did not converge after %d power cycles", e.Plan, e.Cycles)
 }
 
 // Violation is one detected crash-consistency failure, with the plan
@@ -114,6 +146,69 @@ func (v Violation) String() string {
 	return fmt.Sprintf("plan %q: %s", v.Plan.String(), v.Desc)
 }
 
+// Detection tallies the corruption-detection counters a plan's cycle
+// raised across every database instance it powered up: the evidence
+// that damaged bytes were caught by a replay-side check rather than
+// silently applied.
+type Detection struct {
+	// QuarantinedRecords / CorruptDetected are the restart-side record
+	// and image quarantine counters (restart/quarantined_records,
+	// restart/corrupt_records_detected).
+	QuarantinedRecords int64 `json:"quarantined_records"`
+	CorruptDetected    int64 `json:"corrupt_records_detected"`
+	// DuplexFallbacks / DuplexRepairs are §2.2 mirror fallbacks and
+	// copy repairs (fault/duplex_fallbacks, fault/duplex_repairs).
+	DuplexFallbacks int64 `json:"duplex_fallbacks"`
+	DuplexRepairs   int64 `json:"duplex_repairs"`
+	// HeatSnapshotRejects counts rejected heat-snapshot generations
+	// (heat/snapshot_rejected).
+	HeatSnapshotRejects int64 `json:"heat_snapshot_rejects"`
+	// CkptVerifyFailed counts checkpoint images that failed write-verify
+	// (checkpoint/verify_failed).
+	CkptVerifyFailed int64 `json:"ckpt_verify_failed"`
+}
+
+func (d *Detection) add(o Detection) {
+	d.QuarantinedRecords += o.QuarantinedRecords
+	d.CorruptDetected += o.CorruptDetected
+	d.DuplexFallbacks += o.DuplexFallbacks
+	d.DuplexRepairs += o.DuplexRepairs
+	d.HeatSnapshotRejects += o.HeatSnapshotRejects
+	d.CkptVerifyFailed += o.CkptVerifyFailed
+}
+
+// Total is the number of detection events across every channel.
+func (d Detection) Total() int64 {
+	return d.QuarantinedRecords + d.CorruptDetected + d.DuplexFallbacks +
+		d.DuplexRepairs + d.HeatSnapshotRejects + d.CkptVerifyFailed
+}
+
+// PlanStat is the per-plan record of one executed cycle, surfaced in
+// crashhunt -json so CI artifacts carry the full sweep ledger.
+type PlanStat struct {
+	// Plan is the one-line reproducer string.
+	Plan string `json:"plan"`
+	// Fired is how many rule firings the plan achieved (0 = the fault
+	// never triggered; its hit index fell outside this cycle's path).
+	Fired int64 `json:"fired"`
+	// PowerCycles is how many times the machine was power-cycled after
+	// the initial crash before recovery converged (1 = recovery
+	// succeeded first try; more means faults hit the restart path).
+	PowerCycles int `json:"power_cycles"`
+	// Detection tallies the corruption-detection counters the cycle
+	// raised; for mutation plans a zero here with committed effects
+	// missing is the silent-corruption violation.
+	Detection Detection `json:"detection"`
+	// Tolerable is the number of committed effects whose loss was
+	// announced by detection counters and therefore tolerated (only
+	// ever non-zero for plans with mutation acts).
+	TolerableLosses int `json:"tolerable_losses,omitempty"`
+	// Livelock records that the plan tripped ErrRecoveryLivelock.
+	Livelock bool `json:"livelock,omitempty"`
+	// Violation is the failure description, empty when the plan passed.
+	Violation string `json:"violation,omitempty"`
+}
+
 // Result summarises a sweep.
 type Result struct {
 	// PlansRun counts fault plans executed (excluding the baseline).
@@ -123,9 +218,19 @@ type Result struct {
 	// CrashesFired counts plans whose crash rule fired: the number of
 	// distinct (point, hit, action) crash sites the sweep exercised.
 	CrashesFired int
+	// MutationsFired counts plans in which a byte-mutation rule fired.
+	MutationsFired int
+	// ChainsFired counts depth-2 plans whose second stage fired: both
+	// the arming fault and the chained recovery-phase fault landed.
+	ChainsFired int
+	// Livelocks counts plans that tripped the ErrRecoveryLivelock
+	// backstop (each is also reported as a violation).
+	Livelocks int
 	// BaselineHits is the per-point hit count of the fault-free cycle,
 	// the space the plans were sampled from.
 	BaselineHits map[fault.Point]int64
+	// PlanStats is the per-plan ledger, in execution order.
+	PlanStats []PlanStat
 	// Violations are the detected failures, each with its reproducer.
 	Violations []Violation
 }
@@ -174,8 +279,14 @@ func Run(opts Options) (*Result, error) {
 	}
 	res.BaselineHits = base.hits
 
-	plans := enumerate(&opts, base.hits)
-	opts.Logf("sweep: baseline hit %d points, enumerated %d plans", len(base.hits), len(plans))
+	var plans []fault.Plan
+	if opts.Depth >= 2 {
+		plans = enumerateDepth2(&opts, base.hits)
+	} else {
+		plans = enumerate(&opts, base.hits)
+	}
+	opts.Logf("sweep: baseline hit %d points, enumerated %d depth-%d plans",
+		len(base.hits), len(plans), opts.Depth)
 	for i, pl := range plans {
 		r := runPlan(&opts, pl)
 		res.PlansRun++
@@ -186,14 +297,45 @@ func Run(opts Options) (*Result, error) {
 			if pl.Rules[0].Act.IsCrash() {
 				res.CrashesFired++
 			}
+			if hasMutationAct(pl) {
+				res.MutationsFired++
+			}
+			if pl.Depth() >= 2 && r.fired >= int64(len(pl.Rules)+1) {
+				res.ChainsFired++
+				status = "chained"
+			}
+		}
+		if r.livelock {
+			res.Livelocks++
+		}
+		stat := PlanStat{
+			Plan:            pl.String(),
+			Fired:           r.fired,
+			PowerCycles:     r.cycles,
+			Detection:       r.det,
+			TolerableLosses: r.tolerated,
+			Livelock:        r.livelock,
 		}
 		if r.vio != nil {
 			res.Violations = append(res.Violations, *r.vio)
+			stat.Violation = r.vio.Desc
 			status = "VIOLATION"
 		}
+		res.PlanStats = append(res.PlanStats, stat)
 		opts.Logf("sweep: [%d/%d] %s — %s", i+1, len(plans), pl.String(), status)
 	}
 	return res, nil
+}
+
+// hasMutationAct reports whether any stage of the plan carries a
+// byte-mutation act.
+func hasMutationAct(p fault.Plan) bool {
+	for _, r := range p.AllRules() {
+		if r.Act.IsMutation() {
+			return true
+		}
+	}
+	return false
 }
 
 // Replay runs a single explicit plan, returning whether its rules fired
@@ -241,7 +383,14 @@ func enumerate(opts *Options, hits map[fault.Point]int64) []fault.Plan {
 func actsFor(p fault.Point) []fault.Act {
 	switch p {
 	case fault.PointStableAppend:
-		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActCrashAfter}
+		// Byte mutations on the stable append are the nastiest rot in
+		// the matrix: the damaged record rides the SLB into sort, replay,
+		// and possibly a log page, with valid ECC everywhere — only the
+		// record CRC can catch it. Flip damages content in place; trunc
+		// shortens the stored record so every later record in the block
+		// is misaligned (the quarantine must surrender the whole suffix).
+		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActCrashAfter,
+			fault.ActMutFlip, fault.ActMutTrunc}
 	case fault.PointSLBAppend:
 		// Per-record stream append. Physical tearing is exercised one
 		// level down at "stable.append"; here the interesting failures
@@ -254,11 +403,20 @@ func actsFor(p fault.Point) []fault.Act {
 		// the seal leader retry with a later epoch.
 		return []fault.Act{fault.ActCrashBefore, fault.ActIOErr}
 	case fault.PointLogWritePrimary:
-		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActCrashAfter, fault.ActIOErr, fault.ActCorrupt}
+		// flip/splice: ECC-valid rot on one spindle; the page checksum
+		// must reject the copy and the duplexed read must fall back to
+		// (and repair from) the mirror.
+		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActCrashAfter,
+			fault.ActIOErr, fault.ActCorrupt, fault.ActMutFlip, fault.ActMutSplice}
 	case fault.PointLogWriteMirror:
-		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActIOErr, fault.ActCorrupt}
+		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActIOErr,
+			fault.ActCorrupt, fault.ActMutFlip}
 	case fault.PointCkptWrite:
-		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActCrashAfter, fault.ActIOErr}
+		// flip/zero: the image rots between the partition copy and the
+		// track; write-verify must fail the attempt before the catalog
+		// switches to the damaged image.
+		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActCrashAfter,
+			fault.ActIOErr, fault.ActMutFlip, fault.ActMutZero}
 	case fault.PointLogReadPrimary, fault.PointLogReadMirror:
 		return []fault.Act{fault.ActIOErr, fault.ActCorrupt}
 	case fault.PointCkptRead:
@@ -267,6 +425,95 @@ func actsFor(p fault.Point) []fault.Act {
 		return []fault.Act{fault.ActCrashBefore, fault.ActIOErr}
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------
+// Depth-2 plan sampling.
+// ---------------------------------------------------------------------
+
+// stage2Rules is the second-stage candidate grammar: faults aimed at
+// the recovery phase that follows the first stage's firing. Hit indexes
+// here are RELATIVE — the chained stage arms at the instant the first
+// stage fires, and each rule's window is anchored at its point's hit
+// count at that moment — so small indexes land squarely inside restart,
+// replay, and the first post-recovery transactions regardless of how
+// long the workload ran. The points are the ones recovery itself
+// exercises: log reads (replay), checkpoint reads (image load), stable
+// appends (drain, root rewrites, the probe transaction's REDO), and
+// log writes (bin flushes during warm-up).
+func stage2Rules() []fault.Rule {
+	pts := []struct {
+		p    fault.Point
+		acts []fault.Act
+	}{
+		{fault.PointLogReadPrimary, []fault.Act{fault.ActCrashBefore, fault.ActIOErr}},
+		{fault.PointLogReadMirror, []fault.Act{fault.ActCrashBefore, fault.ActIOErr}},
+		{fault.PointCkptRead, []fault.Act{fault.ActCrashBefore, fault.ActIOErr}},
+		{fault.PointStableAppend, []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn}},
+		{fault.PointSLBAppend, []fault.Act{fault.ActCrashBefore}},
+		{fault.PointLogWritePrimary, []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActIOErr}},
+		{fault.PointCkptWrite, []fault.Act{fault.ActCrashBefore, fault.ActIOErr}},
+	}
+	var out []fault.Rule
+	for _, pa := range pts {
+		for _, act := range pa.acts {
+			for _, hit := range []int{1, 2, 4, 9} {
+				out = append(out, fault.Rule{Point: pa.p, Hit: hit, Act: act, Torn: -1})
+			}
+		}
+	}
+	return out
+}
+
+// enumerateDepth2 draws opts.Budget chained two-stage plans from the
+// (first-stage × second-stage) pair space with a seeded sampler. The
+// first stage is a rule the depth-1 enumerator could have produced —
+// any meaningful act at a baseline-hit point — and the second stage is
+// drawn from stage2Rules. The pair space is far too large to enumerate
+// (tens of thousands of pairs), so the sweep samples it reproducibly:
+// the same seed and budget always yield the same plan list.
+func enumerateDepth2(opts *Options, hits map[fault.Point]int64) []fault.Plan {
+	points := opts.Points
+	if len(points) == 0 {
+		points = fault.AllPoints()
+	}
+	var first []fault.Rule
+	for _, p := range points {
+		total := hits[p]
+		if total == 0 {
+			continue
+		}
+		for _, act := range actsFor(p) {
+			for _, h := range sampleHits(total, opts.PerPoint) {
+				first = append(first, fault.Rule{Point: p, Hit: int(h), Act: act, Torn: -1})
+			}
+		}
+	}
+	second := stage2Rules()
+	if len(first) == 0 || len(second) == 0 {
+		return nil
+	}
+	budget := opts.Budget
+	if opts.MaxPlans > 0 && opts.MaxPlans < budget {
+		budget = opts.MaxPlans
+	}
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed2))
+	seen := make(map[string]bool, budget)
+	plans := make([]fault.Plan, 0, budget)
+	for len(plans) < budget && len(seen) < len(first)*len(second) {
+		pl := fault.Plan{
+			Seed:  opts.Seed,
+			Rules: []fault.Rule{first[rng.Intn(len(first))]},
+			Then:  [][]fault.Rule{{second[rng.Intn(len(second))]}},
+		}
+		key := pl.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		plans = append(plans, pl)
+	}
+	return plans
 }
 
 // sampleHits picks up to per hit indexes in [1, total], always
@@ -296,9 +543,13 @@ func sampleHits(total int64, per int) []int64 {
 // ---------------------------------------------------------------------
 
 type planResult struct {
-	hits  map[fault.Point]int64
-	fired int64
-	vio   *Violation
+	hits      map[fault.Point]int64
+	fired     int64
+	cycles    int
+	det       Detection
+	tolerated int
+	livelock  bool
+	vio       *Violation
 }
 
 type runner struct {
@@ -315,11 +566,64 @@ type runner struct {
 	ids     [nRels][]mmdb.RowID // deterministic pick order (commit order)
 	nextKey int64
 
-	hits  map[fault.Point]int64
-	fired int64
+	hits   map[fault.Point]int64
+	fired  int64
+	cycles int
+	// det accumulates the corruption-detection counters across every
+	// database instance the cycle powered up (each instance has a fresh
+	// metrics registry, so per-instance snapshots sum cleanly).
+	det Detection
+	// losses collects committed effects found missing during warm-up
+	// and verification. For plans with mutation acts a loss is tolerable
+	// — the rot destroyed a committed record — but ONLY if detection
+	// counters prove the damage was caught; a loss with zero detection
+	// events is silent corruption, the violation the mutation invariant
+	// exists to catch. Plans without mutation acts never tolerate loss.
+	losses []string
+	// toleratedN is how many losses the mutation invariant accepted as
+	// announced casualties (set only when the cycle passes).
+	toleratedN int
+	// auditFailed means CheckConsistency failed under a mutation plan:
+	// relation-level verification and the probe are skipped (the
+	// database is degraded by announced loss), but the duplex and scrub
+	// invariants still run and judgeLosses still demands detection.
+	auditFailed bool
+	livelock    bool
 	// trace holds the most recently recovered flight-recorder timeline,
 	// attached to any violation the rest of the cycle reports.
 	trace []string
+}
+
+// collect folds one database instance's detection counters into the
+// cycle tally. Call exactly once per instance, after its last activity.
+func (r *runner) collect(db *mmdb.DB) {
+	if db == nil {
+		return
+	}
+	s := db.Metrics()
+	restart := s.Subsystem("restart")
+	faultS := s.Subsystem("fault")
+	r.det.add(Detection{
+		QuarantinedRecords:  restart.Counter("quarantined_records"),
+		CorruptDetected:     restart.Counter("corrupt_records_detected"),
+		DuplexFallbacks:     faultS.Counter("duplex_fallbacks"),
+		DuplexRepairs:       faultS.Counter("duplex_repairs"),
+		HeatSnapshotRejects: s.Subsystem("heat").Counter("snapshot_rejected"),
+		CkptVerifyFailed:    s.Subsystem("checkpoint").Counter("verify_failed"),
+	})
+}
+
+// lossTolerated reports whether the cycle's recorded losses are
+// announced (detected) casualties of a mutation plan rather than silent
+// corruption.
+func (r *runner) lossTolerated() bool {
+	return hasMutationAct(r.plan) && r.det.Total() > 0
+}
+
+// loss records one missing committed effect for the end-of-verify
+// tolerance decision.
+func (r *runner) loss(format string, args ...any) {
+	r.losses = append(r.losses, fmt.Sprintf(format, args...))
 }
 
 func runPlan(opts *Options, plan fault.Plan) planResult {
@@ -345,7 +649,10 @@ func runPlan(opts *Options, plan fault.Plan) planResult {
 	}
 	r.cfg.FaultInjector = r.inj
 	vio := r.run()
-	return planResult{hits: r.hits, fired: r.fired, vio: vio}
+	return planResult{
+		hits: r.hits, fired: r.fired, cycles: r.cycles,
+		det: r.det, tolerated: r.toleratedN, livelock: r.livelock, vio: vio,
+	}
 }
 
 func (r *runner) run() *Violation {
@@ -358,19 +665,29 @@ func (r *runner) run() *Violation {
 	}
 	if v := r.workload(db); v != nil {
 		db.Crash()
+		r.collect(db)
 		return v
 	}
 	if !r.inj.Crashed() {
 		db.WaitIdle()
 	}
 	hw := db.Crash()
+	r.collect(db)
 	r.inj.ClearCrash() // rules and hit counters stay armed: recovery-phase faults can fire
 
 	db = nil
 	for cycle := 0; ; cycle++ {
 		if cycle >= maxRecoveryCycles {
-			return r.viof("recovery did not converge after %d power cycles", maxRecoveryCycles)
+			// The backstop tripped: recovery kept dying without ever
+			// consuming the plan's rules. Typed so callers (and the JSON
+			// report) can tell a livelock from an ordinary divergence;
+			// still surfaced as a violation — a recovery path that never
+			// converges is as fatal as one that loses data.
+			r.livelock = true
+			lerr := &ErrRecoveryLivelock{Plan: r.plan.String(), Cycles: maxRecoveryCycles}
+			return r.viof("%v", lerr)
 		}
+		r.cycles = cycle + 1
 		d, err := mmdb.Recover(hw, r.cfg)
 		if err == nil {
 			if ct := d.CrashTrace(); len(ct) > 0 {
@@ -396,10 +713,26 @@ func (r *runner) run() *Violation {
 		}
 		if fault.IsCrash(err) || r.inj.Crashed() {
 			hw = d.Crash()
+			r.collect(d)
 			r.inj.ClearCrash()
 			continue
 		}
+		if hasMutationAct(r.plan) {
+			// Rot can amputate whole structures — a quarantined catalog
+			// update can orphan an index partition whose log records a
+			// checkpoint already superseded — so the structural audit is
+			// allowed to fail under a mutation plan. It is recorded as a
+			// loss: judgeLosses still demands detection-counter evidence,
+			// and the duplex and scrub invariants below still apply. Row
+			// and probe verification are skipped — the database is
+			// legitimately degraded, not silently wrong.
+			r.loss("post-recovery audit: %v", err)
+			r.auditFailed = true
+			db = d
+			break
+		}
 		d.Crash()
+		r.collect(d)
 		return r.viof("recovery warm-up: %v", err)
 	}
 
@@ -411,7 +744,15 @@ func (r *runner) run() *Violation {
 	r.fired = r.inj.Triggered()
 	r.inj.Reset()
 
-	if v := r.verify(db); v != nil {
+	v := r.verify(db)
+	// Fold in the final instance's detection counters before judging
+	// losses: the bulk of quarantine events happen during this
+	// instance's demand recovery (warm) and the verify scrub.
+	r.collect(db)
+	if v == nil {
+		v = r.judgeLosses()
+	}
+	if v != nil {
 		db.Crash()
 		return v
 	}
@@ -419,6 +760,27 @@ func (r *runner) run() *Violation {
 		return r.viof("close: %v", err)
 	}
 	return nil
+}
+
+// judgeLosses applies the mutation-detection invariant to the losses
+// recorded during warm-up and verification: a committed effect may go
+// missing only when the plan rots bytes AND the rot was demonstrably
+// detected (quarantine, duplex fallback, write-verify, or snapshot
+// rejection counters moved). Silent loss — or any loss under a plan
+// with no mutation acts — is a violation.
+func (r *runner) judgeLosses() *Violation {
+	if len(r.losses) == 0 {
+		return nil
+	}
+	if r.lossTolerated() {
+		r.toleratedN = len(r.losses)
+		return nil
+	}
+	if hasMutationAct(r.plan) {
+		return r.viof("silently applied mutation: %d committed effects missing with zero detection events (first: %s)",
+			len(r.losses), r.losses[0])
+	}
+	return r.viof("%s", r.losses[0])
 }
 
 // tolerable errors abort the transaction without indicting the system:
@@ -638,6 +1000,17 @@ func (r *runner) warmOnce(db *mmdb.DB) error {
 		}
 		rel, err := db.GetRelation(fmt.Sprintf("rel%d", i))
 		if err != nil {
+			if fault.IsFault(err) {
+				return err
+			}
+			if hasMutationAct(r.plan) {
+				// The creation's REDO records may have been the rot's
+				// casualty; record the loss and let judgeLosses demand
+				// proof of detection.
+				r.loss("committed relation rel%d missing after recovery: %v", i, err)
+				r.created[i] = false
+				continue
+			}
 			return fmt.Errorf("committed relation rel%d missing after recovery: %w", i, err)
 		}
 		r.rels[i] = rel
@@ -653,13 +1026,22 @@ func (r *runner) verify(db *mmdb.DB) *Violation {
 	mgr := db.Manager()
 	hw := mgr.Hardware()
 
-	// Log scrub (§2.2): read every page recovery still depends on
-	// through the duplex pair; a read repairs a damaged or missing copy
-	// from its twin.
+	// Log scrub (§2.2, content-checked): read every page recovery still
+	// depends on through the duplex pair with the page checksum layered
+	// on top of the device ECC, so ECC-valid rot on the primary falls
+	// back to — and is repaired from — the mirror, exactly like the
+	// replay path.
 	bins := mgr.BinStates()
 	for _, bs := range bins {
 		for _, lsn := range bs.Pages {
-			if _, err := hw.Log.Read(lsn); err != nil {
+			pid := bs.PID
+			if _, err := hw.Log.ReadChecked(lsn, func(b []byte) error {
+				pg, derr := wal.DecodePage(b)
+				if derr != nil {
+					return derr
+				}
+				return pg.CheckPID(pid)
+			}); err != nil {
 				return r.viof("log page %d of %v unreadable through the duplex pair: %v", lsn, bs.PID, err)
 			}
 		}
@@ -675,7 +1057,10 @@ func (r *runner) verify(db *mmdb.DB) *Violation {
 					lsn, bs.PID, pok, pbad, mok, mbad)
 			}
 			if !bytes.Equal(pd, md) {
-				return r.viof("log disk copies diverge at page %d of %v", lsn, bs.PID)
+				if v := r.scrubDivergence(hw.Log, lsn, pd, md,
+					fmt.Sprintf("page %d of %v", lsn, bs.PID)); v != nil {
+					return v
+				}
 			}
 		}
 	}
@@ -699,8 +1084,18 @@ func (r *runner) verify(db *mmdb.DB) *Violation {
 		pd, pbad, pok := hw.Log.Primary.PageState(lsn)
 		md, mbad, mok := hw.Log.Mirror.PageState(lsn)
 		if pok && mok && !pbad && !mbad && !bytes.Equal(pd, md) {
-			return r.viof("log disk copies diverge at page %d", lsn)
+			if v := r.scrubDivergence(hw.Log, lsn, pd, md,
+				fmt.Sprintf("page %d", lsn)); v != nil {
+				return v
+			}
 		}
+	}
+
+	// A failed structural audit (mutation plans only) leaves no sound
+	// footing for row-level checks or the probe; the loss is already
+	// recorded and judged after verification.
+	if r.auditFailed {
+		return nil
 	}
 
 	// Committed state: exact agreement with the oracle.
@@ -718,6 +1113,41 @@ func (r *runner) verify(db *mmdb.DB) *Violation {
 	return r.probe(db)
 }
 
+// scrubDivergence resolves a byte divergence between two intact (valid
+// ECC) copies of a log page. The device cannot arbitrate — only the
+// page checksum can — so under a mutation plan, exactly one copy
+// failing the content check is detected single-copy rot: the scrub
+// rewrites it from its content-valid twin, completing the §2.2 repair
+// for damage ECC alone cannot see. Any divergence without a mutation
+// act in the plan, or one the checksum cannot arbitrate, is a
+// violation.
+func (r *runner) scrubDivergence(dl *simdisk.DuplexLog, lsn simdisk.LSN, pd, md []byte, desc string) *Violation {
+	if !hasMutationAct(r.plan) {
+		return r.viof("log disk copies diverge at %s", desc)
+	}
+	pOK := pageDecodes(pd)
+	mOK := pageDecodes(md)
+	switch {
+	case pOK && !mOK:
+		if err := dl.Mirror.WriteAt(lsn, pd); err != nil {
+			return r.viof("repairing rotted mirror copy of %s: %v", desc, err)
+		}
+	case mOK && !pOK:
+		if err := dl.Primary.WriteAt(lsn, md); err != nil {
+			return r.viof("repairing rotted primary copy of %s: %v", desc, err)
+		}
+	default:
+		return r.viof("log disk copies diverge at %s and the page checksum cannot arbitrate (primary valid=%v, mirror valid=%v)",
+			desc, pOK, mOK)
+	}
+	return nil
+}
+
+func pageDecodes(b []byte) bool {
+	_, err := wal.DecodePage(b)
+	return err == nil
+}
+
 func (r *runner) verifyRelation(db *mmdb.DB, ri int) *Violation {
 	rel := r.rels[ri]
 	tx := db.Begin()
@@ -733,10 +1163,17 @@ func (r *runner) verifyRelation(db *mmdb.DB, ri int) *Violation {
 	for id, want := range r.model[ri] {
 		g, present := got[id]
 		if !present {
-			return r.viof("rel%d: committed row %v lost", ri, id)
+			// A missing committed row is a loss, judged at the end of
+			// the cycle: tolerable only for a mutation plan with
+			// detection events (the rot destroyed the row's REDO records
+			// but announced itself); a hard violation otherwise.
+			r.loss("rel%d: committed row %v lost", ri, id)
+			continue
 		}
 		if g != want {
-			return r.viof("rel%d: row %v = %+v after recovery, want %+v", ri, id, g, want)
+			// A stale value means the row's later update records were
+			// quarantined — the same announced-loss judgment applies.
+			r.loss("rel%d: row %v = %+v after recovery, want %+v", ri, id, g, want)
 		}
 	}
 	if len(got) != len(r.model[ri]) {
@@ -749,6 +1186,10 @@ func (r *runner) verifyRelation(db *mmdb.DB, ri int) *Violation {
 	if r.indexed[ri] {
 		idx := rel.Index("by_k")
 		if idx == nil {
+			if hasMutationAct(r.plan) {
+				r.loss("rel%d: index by_k missing after recovery", ri)
+				return nil
+			}
 			return r.viof("rel%d: index by_k missing after recovery", ri)
 		}
 		checked := 0
@@ -758,6 +1199,9 @@ func (r *runner) verifyRelation(db *mmdb.DB, ri int) *Violation {
 			}
 			checked++
 			want := r.model[ri][id]
+			if _, present := got[id]; !present {
+				continue // already recorded as a lost row above
+			}
 			found := false
 			err := tx.IndexLookup(idx, want.k, func(gid mmdb.RowID, _ heap.Tuple) bool {
 				if gid == id {
@@ -770,7 +1214,9 @@ func (r *runner) verifyRelation(db *mmdb.DB, ri int) *Violation {
 				return r.viof("rel%d: index lookup: %v", ri, err)
 			}
 			if !found {
-				return r.viof("rel%d: key %d (row %v) missing from index after recovery", ri, want.k, id)
+				// The heap row survived but its index REDO record did
+				// not: an announced loss under the same judgment.
+				r.loss("rel%d: key %d (row %v) missing from index after recovery", ri, want.k, id)
 			}
 		}
 		phantom := false

@@ -24,6 +24,7 @@ package heat
 import (
 	"encoding/binary"
 	"hash/crc32"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -99,11 +100,15 @@ type Tracker struct {
 //     repeated crash cycles;
 //   - if bytes <= 0 the previous region is freed and unregistered, and
 //     a nil tracker is returned.
-func Attach(mem *stablemem.Memory, bytes, persistEvery int, halfLife time.Duration) (*Tracker, []PartHeat, error) {
+//
+// rejected counts prior-generation snapshot slots that were present but
+// failed validation (length, checksum, or payload decode): the recovery
+// then proceeds in catalog order as if no ranking existed, and the
+// owner surfaces the count as heat/snapshot_rejected.
+func Attach(mem *stablemem.Memory, bytes, persistEvery int, halfLife time.Duration) (t *Tracker, recovered []PartHeat, rejected int, err error) {
 	prior, _ := mem.Root(rootKey).(*Snapshot)
-	var recovered []PartHeat
 	if prior != nil {
-		recovered = prior.Load()
+		recovered, rejected = prior.Load()
 	}
 	var snap *Snapshot
 	switch {
@@ -111,9 +116,9 @@ func Attach(mem *stablemem.Memory, bytes, persistEvery int, halfLife time.Durati
 		snap = prior
 	case bytes > 0:
 		prior.Free()
-		s, err := NewSnapshot(mem, bytes)
-		if err != nil {
-			return nil, recovered, err
+		s, serr := NewSnapshot(mem, bytes)
+		if serr != nil {
+			return nil, recovered, rejected, serr
 		}
 		snap = s
 		mem.SetRoot(rootKey, s)
@@ -122,12 +127,12 @@ func Attach(mem *stablemem.Memory, bytes, persistEvery int, halfLife time.Durati
 		if prior != nil {
 			mem.SetRoot(rootKey, nil)
 		}
-		return nil, recovered, nil
+		return nil, recovered, rejected, nil
 	}
 	if persistEvery <= 0 {
 		persistEvery = DefaultPersistEvery
 	}
-	t := &Tracker{
+	t = &Tracker{
 		snap:         snap,
 		persistEvery: int64(persistEvery),
 		halfLife:     halfLife,
@@ -147,7 +152,7 @@ func Attach(mem *stablemem.Memory, bytes, persistEvery int, halfLife time.Durati
 		// lives only in this process now, so re-persist it immediately.
 		t.Persist()
 	}
-	return t, recovered, nil
+	return t, recovered, rejected, nil
 }
 
 // Recovered returns the pre-crash ranking recovered at Attach, hottest
@@ -336,6 +341,40 @@ func NewSnapshot(mem *stablemem.Memory, size int) (*Snapshot, error) {
 	return &Snapshot{reg: reg}, nil
 }
 
+// Snap returns the tracker's stable snapshot region. Nil-safe. Fault
+// tests use it to rot slot bytes directly: Region writes deliberately
+// sit outside the injector's byte-mutation points (see stablemem.Region),
+// so snapshot rot cannot be produced through a fault plan.
+func (t *Tracker) Snap() *Snapshot {
+	if t == nil {
+		return nil
+	}
+	return t.snap
+}
+
+// CorruptSlots flips a payload byte in every present generation slot so
+// its CRC check fails: the loader must reject both generations and the
+// recovery sweep must fall back to catalog order. A fault-injection
+// hook for rot testing. Nil-safe.
+func (s *Snapshot) CorruptSlots() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	half := s.reg.Size() / 2
+	for slot := 0; slot < 2; slot++ {
+		off := slot * half
+		hdr := s.reg.ReadAt(off, slotHdrSize)
+		if string(hdr[:4]) != snapMagic {
+			continue
+		}
+		b := s.reg.ReadAt(off+slotHdrSize, 1)
+		b[0] ^= 0xFF
+		s.reg.WriteAt(off+slotHdrSize, b)
+	}
+}
+
 // Size returns the region capacity in bytes.
 func (s *Snapshot) Size() int {
 	if s == nil {
@@ -393,11 +432,14 @@ func (s *Snapshot) Store(ranked []PartHeat) (stored, payloadBytes int) {
 }
 
 // Load decodes the newest valid generation slot, returning the ranking
-// hottest first (the stored order). A region with no valid slot — fresh
-// memory, or total corruption — yields nil. Nil-safe.
-func (s *Snapshot) Load() []PartHeat {
+// hottest first (the stored order) plus the number of slots that were
+// present but rejected — magic in place with a bad length, checksum, or
+// payload, i.e. rot rather than fresh memory. A region with no valid
+// slot yields a nil ranking; heat ordering then falls back to catalog
+// order, so rejection is never an error, only a counted event. Nil-safe.
+func (s *Snapshot) Load() (ranking []PartHeat, rejected int) {
 	if s == nil {
-		return nil
+		return nil, 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -413,14 +455,20 @@ func (s *Snapshot) Load() []PartHeat {
 		gen := binary.LittleEndian.Uint64(hdr[4:12])
 		plen := int(binary.LittleEndian.Uint32(hdr[12:16]))
 		if plen < 8 || plen > half-slotHdrSize {
+			rejected++
 			continue
 		}
 		payload := s.reg.ReadAt(off+slotHdrSize, plen)
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[16:20]) {
+			rejected++
 			continue
 		}
 		ranked, ok := decodeRanking(payload)
-		if !ok || gen < bestGen {
+		if !ok {
+			rejected++
+			continue
+		}
+		if gen < bestGen {
 			continue
 		}
 		best, bestGen = ranked, gen
@@ -428,12 +476,23 @@ func (s *Snapshot) Load() []PartHeat {
 			s.gen = gen // continue the generation sequence after reload
 		}
 	}
-	return best
+	return best, rejected
 }
 
+// decodeRanking parses a slot payload. The payload normally sits behind
+// a verified CRC, but nothing here may trust that: the entry count is
+// bounded by the payload size (three varint bytes minimum per entry)
+// before it drives an allocation, weights must fit int64, and trailing
+// bytes are rejected.
 func decodeRanking(payload []byte) ([]PartHeat, bool) {
+	if len(payload) < 8 {
+		return nil, false
+	}
 	count := binary.LittleEndian.Uint64(payload[:8])
 	buf := payload[8:]
+	if count > uint64(len(buf))/3 {
+		return nil, false
+	}
 	out := make([]PartHeat, 0, count)
 	for i := uint64(0); i < count; i++ {
 		seg, n := binary.Uvarint(buf)
@@ -447,7 +506,7 @@ func decodeRanking(payload []byte) ([]PartHeat, bool) {
 		}
 		buf = buf[n:]
 		w, n := binary.Uvarint(buf)
-		if n <= 0 {
+		if n <= 0 || w > math.MaxInt64 {
 			return nil, false
 		}
 		buf = buf[n:]
@@ -455,6 +514,9 @@ func decodeRanking(payload []byte) ([]PartHeat, bool) {
 			PID:    addr.PartitionID{Segment: addr.SegmentID(seg), Part: addr.PartitionNum(part)},
 			Weight: int64(w),
 		})
+	}
+	if len(buf) != 0 {
+		return nil, false
 	}
 	return out, true
 }

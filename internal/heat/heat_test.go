@@ -20,7 +20,7 @@ func newMem(t *testing.T) *stablemem.Memory {
 
 func TestTouchAndRanking(t *testing.T) {
 	mem := newMem(t)
-	tr, recovered, err := Attach(mem, 4<<10, 0, 0)
+	tr, recovered, _, err := Attach(mem, 4<<10, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestTouchAndRanking(t *testing.T) {
 
 func TestSnapshotSurvivesReattach(t *testing.T) {
 	mem := newMem(t)
-	tr, _, err := Attach(mem, 4<<10, 0, 0)
+	tr, _, _, err := Attach(mem, 4<<10, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestSnapshotSurvivesReattach(t *testing.T) {
 	tr.Persist()
 
 	// Simulated crash: the tracker is dropped, the Memory survives.
-	tr2, recovered, err := Attach(mem, 4<<10, 0, 0)
+	tr2, recovered, _, err := Attach(mem, 4<<10, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestTornPersistKeepsPriorGeneration(t *testing.T) {
 	}
 	snap.Store([]PartHeat{{PID: pid(2, 0), Weight: 11}})
 	snap.Store([]PartHeat{{PID: pid(2, 0), Weight: 22}})
-	loaded := snap.Load()
+	loaded, _ := snap.Load()
 	if len(loaded) != 1 || loaded[0].Weight != 22 {
 		t.Fatalf("loaded %v, want weight 22", loaded)
 	}
@@ -106,7 +106,7 @@ func TestTornPersistKeepsPriorGeneration(t *testing.T) {
 	// gen 3 is odd) with a header whose checksum cannot verify; the
 	// loader must fall back to generation 2 in the other slot.
 	snap.reg.WriteAt(3%2*(snap.Size()/2), []byte("MHT1garbage-partial-header"))
-	if got := snap.Load(); len(got) != 1 || got[0].Weight != 22 {
+	if got, _ := snap.Load(); len(got) != 1 || got[0].Weight != 22 {
 		t.Fatalf("after torn header, loaded %v, want weight 22", got)
 	}
 }
@@ -125,7 +125,7 @@ func TestSnapshotTruncatesToHottest(t *testing.T) {
 	if stored == 0 || stored >= 1000 {
 		t.Fatalf("stored = %d, want a truncated non-zero prefix", stored)
 	}
-	loaded := snap.Load()
+	loaded, _ := snap.Load()
 	if len(loaded) != stored {
 		t.Fatalf("loaded %d entries, stored %d", len(loaded), stored)
 	}
@@ -139,7 +139,7 @@ func TestSnapshotTruncatesToHottest(t *testing.T) {
 
 func TestDecay(t *testing.T) {
 	mem := newMem(t)
-	tr, _, err := Attach(mem, 4<<10, 0, time.Hour)
+	tr, _, _, err := Attach(mem, 4<<10, 0, time.Hour)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestDecay(t *testing.T) {
 
 func TestPeriodicPersist(t *testing.T) {
 	mem := newMem(t)
-	tr, _, err := Attach(mem, 4<<10, 8, 0)
+	tr, _, _, err := Attach(mem, 4<<10, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestPeriodicPersist(t *testing.T) {
 	if persists != 3 {
 		t.Fatalf("25 touches at cadence 8 -> %d persists, want 3", persists)
 	}
-	_, recovered, err := Attach(mem, 4<<10, 8, 0)
+	_, recovered, _, err := Attach(mem, 4<<10, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestPeriodicPersist(t *testing.T) {
 
 func TestAttachDisabledFreesRegion(t *testing.T) {
 	mem := newMem(t)
-	tr, _, err := Attach(mem, 4<<10, 0, 0)
+	tr, _, _, err := Attach(mem, 4<<10, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestAttachDisabledFreesRegion(t *testing.T) {
 	if used == 0 {
 		t.Fatal("snapshot region should reserve stable bytes")
 	}
-	tr2, recovered, err := Attach(mem, 0, 0, 0)
+	tr2, recovered, _, err := Attach(mem, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestAttachDisabledFreesRegion(t *testing.T) {
 
 func TestAttachResize(t *testing.T) {
 	mem := newMem(t)
-	tr, _, err := Attach(mem, 4<<10, 0, 0)
+	tr, _, _, err := Attach(mem, 4<<10, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,14 +228,14 @@ func TestAttachResize(t *testing.T) {
 	tr.Persist()
 	// Reattach with a different size: region reallocates, but the
 	// ranking must carry over (re-persisted into the new region).
-	_, recovered, err := Attach(mem, 8<<10, 0, 0)
+	_, recovered, _, err := Attach(mem, 8<<10, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(recovered) != 1 || recovered[0].Weight != 9 {
 		t.Fatalf("recovered %v across resize, want P(2.3) w=9", recovered)
 	}
-	_, recovered2, err := Attach(mem, 8<<10, 0, 0)
+	_, recovered2, _, err := Attach(mem, 8<<10, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestAttachResize(t *testing.T) {
 
 func TestConcurrentTouch(t *testing.T) {
 	mem := newMem(t)
-	tr, _, err := Attach(mem, 4<<10, 64, 0)
+	tr, _, _, err := Attach(mem, 4<<10, 64, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

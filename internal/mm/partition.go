@@ -67,9 +67,61 @@ func NewPartition(id addr.PartitionID, size int) *Partition {
 	return p
 }
 
-// FromImage reconstructs a partition from a checkpoint image.
-func FromImage(id addr.PartitionID, image []byte) *Partition {
-	return &Partition{id: id, buf: append([]byte(nil), image...)}
+// ErrBadImage reports a checkpoint image that fails structural
+// validation: rotted header fields or slot entries that would otherwise
+// surface later as slice-bounds panics (or an infinite free-chain walk)
+// deep inside replay.
+var ErrBadImage = errors.New("mm: corrupt partition image")
+
+// FromImage reconstructs a partition from a checkpoint image, validating
+// every structural invariant the accessors rely on. The image bytes come
+// off a disk track whose ECC a mutation fault (or real bit rot) can
+// leave intact, so nothing about them can be trusted.
+func FromImage(id addr.PartitionID, image []byte) (*Partition, error) {
+	if len(image) < headerSize+slotEntrySize {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrBadImage, len(image), headerSize+slotEntrySize)
+	}
+	p := &Partition{id: id, buf: append([]byte(nil), image...)}
+	n := int(p.u16(hdrNumSlots))
+	tableEnd := headerSize + n*slotEntrySize
+	top := int(p.u32(hdrHeapTop))
+	live := int(p.u32(hdrLiveBytes))
+	if tableEnd > len(image) {
+		return nil, fmt.Errorf("%w: slot table of %d entries overruns %d-byte image", ErrBadImage, n, len(image))
+	}
+	if top < tableEnd || top > len(image) {
+		return nil, fmt.Errorf("%w: heap top %d outside [%d,%d]", ErrBadImage, top, tableEnd, len(image))
+	}
+	if live > len(image)-top {
+		return nil, fmt.Errorf("%w: %d live bytes exceed the %d-byte heap", ErrBadImage, live, len(image)-top)
+	}
+	for s := 0; s < n; s++ {
+		off, length := p.slotEntry(addr.Slot(s))
+		if off == freeOffset {
+			if length > uint32(noSlot) {
+				return nil, fmt.Errorf("%w: free slot %d chains to %d", ErrBadImage, s, length)
+			}
+			continue
+		}
+		if uint64(off) < uint64(top) || uint64(off)+uint64(length) > uint64(len(image)) {
+			return nil, fmt.Errorf("%w: slot %d entity [%d,%d) outside heap [%d,%d)",
+				ErrBadImage, s, off, uint64(off)+uint64(length), top, len(image))
+		}
+	}
+	// The free chain must be acyclic and reach only free slots: InsertAt
+	// walks it during replay, so a rotted cycle would hang recovery.
+	seen := 0
+	for cur := p.u16(hdrFreeHead); cur != noSlot; seen++ {
+		if int(cur) >= n || seen >= n {
+			return nil, fmt.Errorf("%w: free chain broken at slot %d", ErrBadImage, cur)
+		}
+		off, next := p.slotEntry(addr.Slot(cur))
+		if off != freeOffset {
+			return nil, fmt.Errorf("%w: free chain reaches occupied slot %d", ErrBadImage, cur)
+		}
+		cur = uint16(next)
+	}
+	return p, nil
 }
 
 // ID returns the partition's identity.

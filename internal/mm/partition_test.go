@@ -182,7 +182,10 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	img := p.Snapshot()
-	q := FromImage(testPID, img)
+	q, err := FromImage(testPID, img)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, err := q.Read(s1)
 	if err != nil || !bytes.Equal(got, []byte("persist me")) {
 		t.Fatalf("restored read: %q, %v", got, err)
@@ -207,7 +210,10 @@ func TestSnapshotIsDeepCopy(t *testing.T) {
 	if err := p.Update(s, []byte("mutd")); err != nil {
 		t.Fatal(err)
 	}
-	q := FromImage(testPID, img)
+	q, err := FromImage(testPID, img)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, _ := q.Read(s)
 	if !bytes.Equal(got, []byte("orig")) {
 		t.Fatal("snapshot aliases live image")
@@ -309,7 +315,10 @@ func TestPartitionModelEquivalence(t *testing.T) {
 		}
 	}
 	// Full snapshot/restore preserves the final state.
-	q := FromImage(testPID, p.Snapshot())
+	q, err := FromImage(testPID, p.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for s, want := range model {
 		got, err := q.Read(s)
 		if err != nil || !bytes.Equal(got, want) {

@@ -122,18 +122,23 @@ func (d *LogDisk) SetInjector(inj *fault.Injector, write, read fault.Point) {
 // writePageLocked stores page at lsn after consulting the injector: a
 // crash-before or transient error applies nothing; a torn write stores
 // a prefix and flips the ECC bit; a corrupt write stores everything but
-// still flips the ECC bit.
+// still flips the ECC bit; a mutation act silently stores damaged bytes
+// with the ECC bit *intact* — only a content check (wal page checksum)
+// can catch it.
 func (d *LogDisk) writePageLocked(lsn LSN, page []byte) error {
 	dec := d.inj.Check(d.wpt, len(page))
 	if dec.Err != nil && dec.ApplyBytes(len(page)) == 0 && !dec.MarkBad {
 		return dec.Err
 	}
-	n := dec.ApplyBytes(len(page))
-	d.pages[lsn] = &logPage{data: append([]byte(nil), page[:n]...), bad: dec.MarkBad}
+	stored := append([]byte(nil), page[:dec.ApplyBytes(len(page))]...)
+	if dec.Mutated() {
+		stored = dec.MutateBytes(stored)
+	}
+	d.pages[lsn] = &logPage{data: stored, bad: dec.MarkBad}
 	if lsn >= d.next {
 		d.next = lsn + 1
 	}
-	d.meter.ChargeLogDisk(d.params.transferMicros(n))
+	d.meter.ChargeLogDisk(d.params.transferMicros(len(stored)))
 	return dec.Err
 }
 
@@ -188,7 +193,13 @@ func (d *LogDisk) Read(lsn LSN) ([]byte, error) {
 		return nil, fmt.Errorf("%w: LSN %d", ErrBadSector, lsn)
 	}
 	d.meter.ChargeLogDisk(d.params.AdjSeekMicros + d.params.transferMicros(len(p.data)))
-	return append([]byte(nil), p.data...), nil
+	out := append([]byte(nil), p.data...)
+	if dec.Mutated() {
+		// Transient read rot: the head returns damaged bytes with ECC
+		// reporting clean. The stored copy is untouched.
+		out = dec.MutateBytes(out)
+	}
+	return out, nil
 }
 
 // PageState inspects the sector at lsn without charging cost or fault
@@ -354,6 +365,52 @@ func (d *DuplexLog) Read(lsn LSN) ([]byte, error) {
 	return m, nil
 }
 
+// ReadChecked is Read with a caller-supplied content check layered on
+// top of the device ECC. The simulated drives detect torn and marked-
+// bad sectors themselves, but bit rot inside an ECC-valid sector is
+// invisible to the device — only the reader's format knowledge (a wal
+// page checksum, a record CRC) can catch it. When the primary copy
+// reads cleanly but fails check, ReadChecked falls back to the mirror
+// exactly as Read does for bad sectors, verifies the mirror copy too,
+// and rewrites the rotten primary from the verified copy so the pair
+// reconverges (§2.2). If both copies fail the check, the caller's typed
+// error for the primary copy is returned — never silently-damaged
+// bytes.
+func (d *DuplexLog) ReadChecked(lsn LSN, check func([]byte) error) ([]byte, error) {
+	p, perr := d.Primary.Read(lsn)
+	var cerr error
+	if perr == nil {
+		if cerr = check(p); cerr == nil {
+			d.repairIfDamaged(d.Mirror, lsn, p)
+			return p, nil
+		}
+	}
+	fallbackErr := perr
+	if fallbackErr == nil {
+		fallbackErr = cerr
+	}
+	if fault.IsCrash(perr) || d.disableFallback.Load() {
+		return nil, fallbackErr
+	}
+	m, merr := d.Mirror.Read(lsn)
+	if merr != nil {
+		if fault.IsCrash(merr) {
+			return nil, merr
+		}
+		return nil, fallbackErr
+	}
+	if check(m) != nil {
+		return nil, fallbackErr
+	}
+	d.Fallbacks.Inc()
+	// The primary copy is missing, bad, or ECC-valid rot: rewrite it
+	// from the verified mirror copy.
+	if d.Primary.WriteAt(lsn, m) == nil {
+		d.Repairs.Inc()
+	}
+	return m, nil
+}
+
 // repairIfDamaged rewrites other's copy of lsn from good if it is
 // missing or fails its ECC check.
 func (d *DuplexLog) repairIfDamaged(other *LogDisk, lsn LSN, good []byte) {
@@ -439,9 +496,14 @@ func (d *CheckpointDisk) WriteTrack(loc TrackLoc, data []byte) error {
 	if dec.Err != nil && dec.ApplyBytes(len(data)) == 0 && !dec.MarkBad {
 		return dec.Err
 	}
-	n := dec.ApplyBytes(len(data))
-	d.tracks[loc] = &ckptTrack{data: append([]byte(nil), data[:n]...), bad: dec.MarkBad}
-	d.meter.ChargeCkptDisk(d.params.AdjSeekMicros + d.params.trackTransferMicros(n))
+	stored := append([]byte(nil), data[:dec.ApplyBytes(len(data))]...)
+	if dec.Mutated() {
+		// Silent image rot: the track keeps valid ECC. The checkpoint
+		// manager's write-verify pass is what catches this.
+		stored = dec.MutateBytes(stored)
+	}
+	d.tracks[loc] = &ckptTrack{data: stored, bad: dec.MarkBad}
+	d.meter.ChargeCkptDisk(d.params.AdjSeekMicros + d.params.trackTransferMicros(len(stored)))
 	return dec.Err
 }
 
@@ -469,7 +531,30 @@ func (d *CheckpointDisk) ReadTrack(loc TrackLoc) ([]byte, error) {
 		return nil, fmt.Errorf("%w: track %d", ErrBadSector, loc)
 	}
 	d.meter.ChargeCkptDisk(d.params.AvgSeekMicros + d.params.RotateMicros + d.params.trackTransferMicros(len(t.data)))
-	return append([]byte(nil), t.data...), nil
+	out := append([]byte(nil), t.data...)
+	if dec.Mutated() {
+		// Transient read rot with clean ECC; image validation in the
+		// partition loader is the detector.
+		out = dec.MutateBytes(out)
+	}
+	return out, nil
+}
+
+// TrackState inspects the stored bytes of the track at loc without
+// charging cost or fault points: the checkpoint manager's write-verify
+// pass compares them against what it meant to write, so a silently
+// mutated image write is caught while the previous image still exists.
+// (Deliberately uninstrumented — a verify read through the ckpt.read
+// fault point would shift recovery-time hit counts and break plan
+// reproducibility, like stablemem.Region.)
+func (d *CheckpointDisk) TrackState(loc TrackLoc) (data []byte, bad bool, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.tracks[loc]
+	if !ok {
+		return nil, false, false
+	}
+	return append([]byte(nil), t.data...), t.bad, true
 }
 
 // FreeTrack discards the image at loc (its partition has a newer copy).

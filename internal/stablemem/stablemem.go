@@ -279,12 +279,18 @@ func (b *Block) Remaining() int { return len(b.buf) - b.n }
 // Append copies p into the block, charging stable-write cost. It
 // returns ErrNoSpace (writing nothing) if p does not fit. A crash
 // injected mid-append can leave a torn prefix of p in the block — the
-// exact failure mode restart's torn-tail sanitisation exists for.
+// exact failure mode restart's torn-tail sanitisation exists for. A
+// mutation act silently lands damaged bytes while Append still reports
+// success: stable memory has no ECC at all, so only the record CRCs
+// checked by replay can catch the rot.
 func (b *Block) Append(p []byte) error {
 	if len(p) > b.Remaining() {
 		return ErrNoSpace
 	}
 	dec := b.mem.inj.Load().Check(fault.PointStableAppend, len(p))
+	if dec.Mutated() {
+		p = dec.MutateBytes(p)
+	}
 	n := dec.ApplyBytes(len(p))
 	if dec.Err != nil && n == 0 {
 		return dec.Err

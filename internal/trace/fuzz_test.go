@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the flight-recorder frame parser with
+// arbitrary bytes — the crash-surviving ring is read back from stable
+// memory after arbitrary rot, so the parser must never panic, must
+// consume within bounds, and must round-trip every frame it accepts.
+func FuzzDecodeFrame(f *testing.F) {
+	seeds := []Event{
+		{Kind: KindTxnBegin, TS: 12345, Seq: 1, Txn: 7},
+		{Kind: KindPageFlush, TS: 1 << 40, Seq: 900, Part: 3, LSN: 144, Arg: 8},
+		{Kind: KindFaultTrigger, TS: 55, Seq: 2, Arg: 1755, Str: "stable.append:trunc"},
+		{Kind: KindRecordQuarantine, TS: 99, Seq: 3, Arg: 480, Arg2: 32,
+			Str: "wal: corrupt encoding: checksum mismatch"},
+	}
+	for i := range seeds {
+		f.Add(appendFrame(nil, &seeds[i]))
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		e, n, err := decodeFrame(buf)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(buf) {
+			t.Fatalf("decodeFrame consumed %d of %d bytes", n, len(buf))
+		}
+		if !e.Kind.Valid() {
+			t.Fatalf("accepted frame with invalid kind %d", e.Kind)
+		}
+		enc := appendFrame(nil, &e)
+		e2, n2, err2 := decodeFrame(enc)
+		if err2 != nil {
+			t.Fatalf("re-decode of re-encoded frame failed: %v", err2)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(enc))
+		}
+		if e2 != e {
+			t.Fatalf("frame round-trip mismatch: %+v != %+v", e2, e)
+		}
+	})
+}

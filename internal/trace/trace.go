@@ -134,6 +134,12 @@ const (
 	KindSweepProgress
 	KindHeatP99Restored
 
+	// A replay-side parser rejected rotted record bytes and quarantined
+	// the corrupt range instead of applying it (Arg = clean prefix bytes
+	// kept, Arg2 = bytes quarantined; Txn / Seg / Part set when the
+	// range's owner is known; Str = the typed decode error).
+	KindRecordQuarantine
+
 	kindMax
 )
 
@@ -170,6 +176,7 @@ var kindNames = [...]string{
 	KindHeatSnapshot:     "heat-snapshot",
 	KindSweepProgress:    "sweep-progress",
 	KindHeatP99Restored:  "heat-p99-restored",
+	KindRecordQuarantine: "record-quarantine",
 }
 
 func (k Kind) String() string {
@@ -198,7 +205,7 @@ func (k Kind) Subsystem() string {
 		return "checkpoint"
 	case KindRootScanBegin, KindRootScanEnd, KindPartRedo, KindSweepBegin, KindSweepEnd,
 		KindSweepWorkerBegin, KindSweepWorkerEnd, KindSweepError,
-		KindSweepProgress, KindHeatP99Restored:
+		KindSweepProgress, KindHeatP99Restored, KindRecordQuarantine:
 		return "restart"
 	case KindHeatSnapshot:
 		return "heat"

@@ -412,7 +412,10 @@ func TestIndexPagerWithTTreeAbort(t *testing.T) {
 	// same entities at same slots (physical layout may differ — abort
 	// restores entity state, not heap offsets).
 	for _, p := range m.Store().Partitions(idxSeg) {
-		want := mm.FromImage(p.ID(), snap[p.ID()])
+		want, err := mm.FromImage(p.ID(), snap[p.ID()])
+		if err != nil {
+			t.Fatal(err)
+		}
 		if want.EntityCount() != p.EntityCount() {
 			t.Fatalf("%v: entity count %d, want %d", p.ID(), p.EntityCount(), want.EntityCount())
 		}

@@ -3,6 +3,7 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"mmdb/internal/addr"
 	"mmdb/internal/simdisk"
@@ -33,9 +34,16 @@ type Page struct {
 // seg(4) part(4) prev(8) dirPrev(8) dirLen(2) recLen(4).
 const pageHeaderSize = 4 + 4 + 8 + 8 + 2 + 4
 
+// pageCRCSize is the page checksum trailer: CRC32-IEEE over the header,
+// directory, and record bytes. The simulated disks model ECC at sector
+// granularity (bad-sector errors), but a mutated write keeps valid ECC
+// — the trailer is what lets a reader distinguish a well-formed page
+// from bit rot and fall back to the duplexed mirror copy (§2.2).
+const pageCRCSize = 4
+
 // EncodedSize returns the byte size of the encoded page.
 func (p *Page) EncodedSize() int {
-	return pageHeaderSize + 8*len(p.Dir) + len(p.Records)
+	return pageHeaderSize + 8*len(p.Dir) + len(p.Records) + pageCRCSize
 }
 
 // Encode serialises the page for the log disk.
@@ -54,12 +62,16 @@ func (p *Page) Encode() []byte {
 		binary.LittleEndian.PutUint64(e[:], uint64(l))
 		out = append(out, e[:]...)
 	}
-	return append(out, p.Records...)
+	out = append(out, p.Records...)
+	var crc [pageCRCSize]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(out))
+	return append(out, crc[:]...)
 }
 
-// DecodePage parses a log page read back from the log disk or tape.
+// DecodePage parses a log page read back from the log disk or tape,
+// verifying the checksum trailer. All failures are typed ErrCorrupt.
 func DecodePage(buf []byte) (*Page, error) {
-	if len(buf) < pageHeaderSize {
+	if len(buf) < pageHeaderSize+pageCRCSize {
 		return nil, fmt.Errorf("%w: truncated page header", ErrCorrupt)
 	}
 	p := &Page{}
@@ -70,8 +82,13 @@ func DecodePage(buf []byte) (*Page, error) {
 	dirLen := int(binary.LittleEndian.Uint16(buf[24:]))
 	recLen := int(binary.LittleEndian.Uint32(buf[26:]))
 	rest := buf[pageHeaderSize:]
-	if len(rest) < 8*dirLen+recLen {
-		return nil, fmt.Errorf("%w: page body %d bytes, want %d", ErrCorrupt, len(rest), 8*dirLen+recLen)
+	if uint64(8*dirLen)+uint64(recLen) > uint64(len(rest)-pageCRCSize) {
+		return nil, fmt.Errorf("%w: page body %d bytes, want %d", ErrCorrupt, len(rest)-pageCRCSize, 8*dirLen+recLen)
+	}
+	end := pageHeaderSize + 8*dirLen + recLen
+	want := binary.LittleEndian.Uint32(buf[end:])
+	if got := crc32.ChecksumIEEE(buf[:end]); got != want {
+		return nil, fmt.Errorf("%w: page (got %08x, want %08x)", ErrChecksum, got, want)
 	}
 	for i := 0; i < dirLen; i++ {
 		p.Dir = append(p.Dir, simdisk.LSN(binary.LittleEndian.Uint64(rest[8*i:])))

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"mmdb/internal/addr"
 )
@@ -74,6 +75,13 @@ func (t Tag) Valid() bool { return t > TagInvalid && t < tagMax }
 // ErrCorrupt reports a malformed record or page encoding.
 var ErrCorrupt = errors.New("wal: corrupt encoding")
 
+// ErrChecksum is the ErrCorrupt sub-case where the bytes parse but the
+// CRC trailer disagrees: rot, not truncation. Restart's torn-tail
+// sanitiser uses the distinction — a crash-torn append is expected and
+// its records re-sort from the SLB, while a checksum mismatch means
+// damaged content that must be counted as quarantined.
+var ErrChecksum = fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+
 // BinIndex is the direct index into the partition bin table in the
 // Stable Log Tail where a record will be relocated by the recovery CPU.
 type BinIndex uint32
@@ -97,12 +105,20 @@ func (r *Record) Entity() addr.EntityAddr {
 	return addr.EntityAddr{Segment: r.PID.Segment, Part: r.PID.Part, Slot: r.Slot}
 }
 
+// recordCRCSize is the per-record checksum trailer: CRC32-IEEE over the
+// record's full encoding (tag through payload). Stable memory and log
+// sectors can rot without losing device ECC, and a bit-flipped varint
+// would otherwise decode into a *different valid record* — the trailer
+// turns silent misapplication into a typed ErrCorrupt that replay
+// quarantines.
+const recordCRCSize = 4
+
 // Records use a compact variable-length encoding — the paper notes
 // that typical log records are only 8 to 24 bytes, and that redundant
 // address information is condensed; small identifiers cost one byte
 // each. Layout: tag(1), then uvarints for bin+1 (NoBin encodes as 0),
 // txn, segment, partition, slot, offset, and payload length, followed
-// by the payload.
+// by the payload and a CRC32 trailer over all of the preceding bytes.
 //
 // EncodedSize returns the number of bytes Encode will produce.
 func (r *Record) EncodedSize() int {
@@ -118,7 +134,7 @@ func (r *Record) EncodedSize() int {
 	n += uvarintLen(uint64(r.Slot))
 	n += uvarintLen(uint64(r.Off))
 	n += uvarintLen(uint64(len(r.Data)))
-	return n + len(r.Data)
+	return n + len(r.Data) + recordCRCSize
 }
 
 func uvarintLen(v uint64) int {
@@ -133,6 +149,7 @@ func uvarintLen(v uint64) int {
 // Encode appends the record's encoding to dst and returns the result.
 func (r *Record) Encode(dst []byte) []byte {
 	var tmp [binary.MaxVarintLen64]byte
+	start := len(dst)
 	dst = append(dst, byte(r.Tag))
 	put := func(v uint64) {
 		n := binary.PutUvarint(tmp[:], v)
@@ -149,7 +166,10 @@ func (r *Record) Encode(dst []byte) []byte {
 	put(uint64(r.Slot))
 	put(uint64(r.Off))
 	put(uint64(len(r.Data)))
-	return append(dst, r.Data...)
+	dst = append(dst, r.Data...)
+	var crc [recordCRCSize]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(dst[start:]))
+	return append(dst, crc[:]...)
 }
 
 // Decode parses one record from the front of buf, returning the record
@@ -204,14 +224,22 @@ func Decode(buf []byte) (Record, int, error) {
 	if v, err = get(); err != nil {
 		return Record{}, 0, err
 	}
-	dlen := int(v)
-	if dlen < 0 || len(buf) < pos+dlen {
-		return Record{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrCorrupt, len(buf)-pos, dlen)
+	if v > uint64(len(buf)-pos) {
+		return Record{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrCorrupt, len(buf)-pos, v)
 	}
+	dlen := int(v)
 	if dlen > 0 {
 		r.Data = buf[pos : pos+dlen : pos+dlen]
 	}
-	return r, pos + dlen, nil
+	pos += dlen
+	if len(buf)-pos < recordCRCSize {
+		return Record{}, 0, fmt.Errorf("%w: truncated record checksum", ErrCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(buf[pos:])
+	if got := crc32.ChecksumIEEE(buf[:pos]); got != want {
+		return Record{}, 0, fmt.Errorf("%w: record (got %08x, want %08x)", ErrChecksum, got, want)
+	}
+	return r, pos + recordCRCSize, nil
 }
 
 // DecodeAll parses a concatenation of records, as stored in SLB blocks
