@@ -39,6 +39,10 @@ type jsonReport struct {
 	ChainsFired    int              `json:"chains_fired"`
 	Livelocks      int              `json:"livelocks"`
 	BaselineHits   map[string]int64 `json:"baseline_hits"`
+	// DetectionTotals sums every plan's detection ledger; CI smokes
+	// assert on these (e.g. ckpt-rot plans must show archive_rebuilds
+	// >= 1 with archive_rebuild_failed == 0).
+	DetectionTotals sweep.Detection `json:"detection_totals"`
 	// Plans is the per-plan ledger: reproducer string, rule firings,
 	// power-cycle count, and the corruption-detection tallies.
 	Plans      []sweep.PlanStat `json:"plans"`
@@ -123,13 +127,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "crashhunt: %v\n", err)
 			os.Exit(2)
 		}
-		fired, vio := sweep.Replay(opts, plan)
+		stat, vio := sweep.Replay(opts, plan)
+		if *jsonPath != "" {
+			rep := jsonReport{
+				Seed:            *seed,
+				Depth:           plan.Depth(),
+				PlansRun:        1,
+				DetectionTotals: stat.Detection,
+				BaselineHits:    map[string]int64{},
+				Plans:           []sweep.PlanStat{stat},
+			}
+			if stat.Fired > 0 {
+				rep.RulesFired = 1
+			}
+			if vio != nil {
+				rep.Violations = append(rep.Violations, jsonViolation{
+					Plan: vio.Plan.String(), Desc: vio.Desc, Trace: vio.Trace,
+				})
+			}
+			if err := writeJSON(*jsonPath, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "crashhunt: writing %s: %v\n", *jsonPath, err)
+				os.Exit(2)
+			}
+		}
 		if vio != nil {
 			fmt.Printf("VIOLATION %s\n", vio)
 			printTrace(vio)
 			os.Exit(1)
 		}
-		fmt.Printf("crashhunt: plan %q ok (rules fired: %d)\n", plan.String(), fired)
+		fmt.Printf("crashhunt: plan %q ok (rules fired: %d)\n", plan.String(), stat.Fired)
 		return
 	}
 
@@ -157,16 +183,17 @@ func main() {
 		res.MutationsFired, res.ChainsFired, res.Livelocks, len(res.Violations))
 	if *jsonPath != "" {
 		rep := jsonReport{
-			Seed:           *seed,
-			Depth:          *depth,
-			PlansRun:       res.PlansRun,
-			RulesFired:     res.RulesFired,
-			CrashesFired:   res.CrashesFired,
-			MutationsFired: res.MutationsFired,
-			ChainsFired:    res.ChainsFired,
-			Livelocks:      res.Livelocks,
-			BaselineHits:   make(map[string]int64, len(res.BaselineHits)),
-			Plans:          res.PlanStats,
+			Seed:            *seed,
+			Depth:           *depth,
+			PlansRun:        res.PlansRun,
+			RulesFired:      res.RulesFired,
+			CrashesFired:    res.CrashesFired,
+			MutationsFired:  res.MutationsFired,
+			ChainsFired:     res.ChainsFired,
+			Livelocks:       res.Livelocks,
+			BaselineHits:    make(map[string]int64, len(res.BaselineHits)),
+			DetectionTotals: res.Detection,
+			Plans:           res.PlanStats,
 		}
 		for p, n := range res.BaselineHits {
 			rep.BaselineHits[string(p)] = n

@@ -216,7 +216,7 @@ func RecoverFromMediaFailure(hw *Hardware, cfg Config) (*DB, error) {
 		residue = append(residue, archive.Residue{PID: r.PID, Records: r.Records})
 	}
 
-	store, root, err := archive.Rebuild(hw.Tape, hw.Log, residue, core.RootSentinelPID(), cfg.PartitionSize)
+	store, root, damaged, err := archive.Rebuild(hw.Arch, hw.Log, residue, core.RootSentinelPID(), cfg.PartitionSize)
 	if err != nil {
 		return nil, err
 	}
@@ -241,6 +241,11 @@ func RecoverFromMediaFailure(hw *Hardware, cfg Config) (*DB, error) {
 	mgr, err := core.New(hw, cfg, store, locks)
 	if err != nil {
 		return nil, err
+	}
+	if damaged > 0 {
+		// Rot detected and skipped inside the archived history: every
+		// damaged page cost records, none were silently applied.
+		mgr.Metrics().CorruptDetected.Add(int64(damaged))
 	}
 	db := newDB(cfg, mgr, store, locks)
 	if err := db.loadCatalogs(); err != nil {

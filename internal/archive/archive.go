@@ -1,18 +1,23 @@
-// Package archive implements media-failure recovery (§2.6): the disk
-// copy of the database is the archive copy of the primary memory copy,
-// and the log pages rolled onto tape plus the still-resident log disk
-// pages form a complete per-partition operation history. Losing the
-// checkpoint disks (or the log disks, thanks to duplexing and the tape)
-// therefore never loses committed data: every partition can be rebuilt
-// from an empty image by replaying its full history in LSN order.
+// Package archive implements the append-only archive tier and
+// media-failure recovery (§2.6): the log pages rolled into archive
+// segments plus the still-resident log disk pages form a complete
+// per-partition operation history. Losing the checkpoint disks (or the
+// log disks, thanks to duplexing and the archive) therefore never loses
+// committed data: every partition can be rebuilt from an empty image by
+// replaying its full history in LSN order — the whole database at once
+// (Rebuild) or one partition on the restart path (RebuildPartition),
+// which is what turns a rotted checkpoint track into a repair instead
+// of a loss.
 package archive
 
 import (
+	"errors"
 	"fmt"
 
 	"mmdb/internal/addr"
 	"mmdb/internal/baseline"
 	"mmdb/internal/catalog"
+	"mmdb/internal/fault"
 	"mmdb/internal/mm"
 	"mmdb/internal/simdisk"
 	"mmdb/internal/wal"
@@ -26,25 +31,59 @@ type Residue struct {
 	Records []byte // concatenated record encodings
 }
 
-// Rebuild reconstructs the entire database from the archive tape, the
+// applyPageTo replays one encoded wal page onto a partition, filtering
+// records by the partition's identity.
+func applyPageTo(p *mm.Partition, pg *wal.Page) error {
+	recs, err := wal.DecodeAll(pg.Records)
+	if err != nil {
+		return err
+	}
+	for i := range recs {
+		if recs[i].PID != pg.PID {
+			continue
+		}
+		if err := baseline.Apply(p, &recs[i]); err != nil {
+			return fmt.Errorf("archive: replaying %v: %w", pg.PID, err)
+		}
+	}
+	return nil
+}
+
+// Rebuild reconstructs the entire database from the archive store, the
 // surviving log disk pages, and the stable-memory residue, returning
 // the rebuilt store and the most recent catalog root found on the log
 // (§2.5: the root is periodically written to the log disk). rootPID is
 // the sentinel partition address under which root pages are written.
-func Rebuild(tape *simdisk.Tape, log *simdisk.DuplexLog, residue []Residue, rootPID addr.PartitionID, partSize int) (*mm.Store, *catalog.Root, error) {
+//
+// Pages are deduplicated by LSN across the two media: a page rolled
+// into the archive but still resident on the log disk at crash time
+// (the rollover fsyncs before it drops, so the overlap window is real,
+// and a crashed rollover retries at-least-once) replays exactly once.
+// Without that cross-check a twice-replayed page re-applies old
+// operations *after* newer ones from its first pass — resurrecting
+// deleted slots.
+//
+// A page that no longer decodes is detected rot: it is skipped and
+// counted in damaged, never applied and never allowed to hide the rest
+// of the history behind an abort.
+func Rebuild(st *Store, log *simdisk.DuplexLog, residue []Residue, rootPID addr.PartitionID, partSize int) (*mm.Store, *catalog.Root, int, error) {
 	store := mm.NewStore(partSize)
 	parts := make(map[addr.PartitionID]*mm.Partition)
 	var root *catalog.Root
+	seen := make(map[simdisk.LSN]bool)
+	damaged := 0
 
 	applyPage := func(raw []byte) error {
 		pg, err := wal.DecodePage(raw)
 		if err != nil {
-			return err
+			damaged++
+			return nil
 		}
 		if pg.PID == rootPID {
 			r, err := catalog.DecodeRoot(pg.Records)
 			if err != nil {
-				return fmt.Errorf("archive: root page: %w", err)
+				damaged++
+				return nil
 			}
 			root = r
 			return nil
@@ -54,47 +93,51 @@ func Rebuild(tape *simdisk.Tape, log *simdisk.DuplexLog, residue []Residue, root
 			p = mm.NewPartition(pg.PID, partSize)
 			parts[pg.PID] = p
 		}
-		recs, err := wal.DecodeAll(pg.Records)
-		if err != nil {
-			return err
-		}
-		for i := range recs {
-			if recs[i].PID != pg.PID {
-				continue
-			}
-			if err := baseline.Apply(p, &recs[i]); err != nil {
-				return fmt.Errorf("archive: replaying %v: %w", pg.PID, err)
-			}
-		}
-		return nil
+		return applyPageTo(p, pg)
 	}
 
-	// Tape first: it holds the oldest pages, archived in LSN order.
-	// Entries are type-framed: log pages carry TapeKindLogPage; audit
-	// pages are skipped here (they never affect database state).
-	if err := tape.Scan(func(entry []byte) error {
-		if len(entry) == 0 {
-			return fmt.Errorf("archive: empty tape entry")
-		}
-		switch entry[0] {
-		case simdisk.TapeKindLogPage:
-			return applyPage(entry[1:])
-		case simdisk.TapeKindAudit:
+	// Archive first: it holds the oldest pages, in roll (= LSN) order.
+	// Audit entries never affect database state.
+	if err := st.Scan(func(e Entry) error {
+		if e.Kind != EntryLogPage {
 			return nil
-		default:
-			return fmt.Errorf("archive: unknown tape entry kind 0x%02x", entry[0])
 		}
+		if e.LSN != 0 && seen[e.LSN] {
+			return nil // at-least-once append retried across a crash
+		}
+		if err := applyPage(e.Data); err != nil {
+			return err
+		}
+		if e.LSN != 0 {
+			seen[e.LSN] = true
+		}
+		return nil
 	}); err != nil {
-		return nil, nil, err
+		return nil, nil, damaged, err
 	}
-	// Then the pages still resident on the log disk, in LSN order.
+	// Then the pages still resident on the log disk, in LSN order,
+	// skipping any the archive already replayed. Verified duplex reads:
+	// a rotted primary copy falls back to (and is repaired from) the
+	// mirror before the page is given up on.
 	for lsn := simdisk.LSN(1); lsn < log.NextLSN(); lsn++ {
-		raw, err := log.Read(lsn)
+		if seen[lsn] {
+			continue
+		}
+		raw, err := log.ReadChecked(lsn, func(b []byte) error {
+			_, derr := wal.DecodePage(b)
+			return derr
+		})
 		if err != nil {
-			continue // archived (on tape) or never written
+			if fault.IsFault(err) {
+				return nil, nil, damaged, err
+			}
+			if errors.Is(err, wal.ErrCorrupt) {
+				damaged++ // both duplexed copies rotted
+			}
+			continue // dropped after archiving, or never written
 		}
 		if err := applyPage(raw); err != nil {
-			return nil, nil, err
+			return nil, nil, damaged, err
 		}
 	}
 	// Finally the stable-memory residue: records newer than any log
@@ -107,11 +150,11 @@ func Rebuild(tape *simdisk.Tape, log *simdisk.DuplexLog, residue []Residue, root
 		}
 		recs, err := wal.DecodeAll(r.Records)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, damaged, err
 		}
 		for i := range recs {
 			if err := baseline.Apply(p, &recs[i]); err != nil {
-				return nil, nil, fmt.Errorf("archive: residue of %v: %w", r.PID, err)
+				return nil, nil, damaged, fmt.Errorf("archive: residue of %v: %w", r.PID, err)
 			}
 		}
 	}
@@ -120,5 +163,93 @@ func Rebuild(tape *simdisk.Tape, log *simdisk.DuplexLog, residue []Residue, root
 		store.EnsureSegment(pid.Segment)
 		store.Install(p)
 	}
-	return store, root, nil
+	return store, root, damaged, nil
+}
+
+// PartitionRebuild is the outcome of a single-partition archive
+// rebuild.
+type PartitionRebuild struct {
+	Partition *mm.Partition
+	Pages     int // log pages replayed (archive + log disk)
+	Damaged   int // entries/pages skipped as detected rot
+}
+
+// RebuildPartition reconstructs one partition from its archived history
+// plus its pages still resident on the log disk, in LSN order. It is
+// the restart-path repair for a lost or rotted checkpoint image: the
+// caller replays the partition's Stable Log Tail bin on top, exactly as
+// it would have on top of the image.
+//
+// skip lists LSNs the caller will replay itself (the bin's page list):
+// they are excluded here so no page is applied twice out of order.
+// Pages are further deduplicated by LSN across archive and log disk,
+// for the same reasons as in Rebuild.
+//
+// An error is returned only when a medium refuses to serve (an injected
+// fault or the crash itself) — transient conditions where retrying the
+// recovery is correct. Rotted entries are skipped and counted in
+// Damaged instead, so one decayed archive frame costs exactly the
+// records it held, not the whole rebuild.
+func RebuildPartition(st *Store, log *simdisk.DuplexLog, pid addr.PartitionID, partSize int, skip map[simdisk.LSN]bool) (PartitionRebuild, error) {
+	res := PartitionRebuild{Partition: mm.NewPartition(pid, partSize)}
+	seen := make(map[simdisk.LSN]bool)
+
+	applyPg := func(lsn simdisk.LSN, pg *wal.Page) error {
+		if err := applyPageTo(res.Partition, pg); err != nil {
+			return err
+		}
+		seen[lsn] = true
+		res.Pages++
+		return nil
+	}
+
+	// The archived history, located by binary search in the per-segment
+	// (PID, LSN) indexes.
+	if err := st.ScanPartition(pid, func(lsn simdisk.LSN, page []byte) error {
+		if skip[lsn] {
+			return nil
+		}
+		pg, err := wal.DecodePage(page)
+		if err != nil || pg.PID != pid {
+			res.Damaged++ // rot in the archived copy: detected, skipped
+			return nil
+		}
+		return applyPg(lsn, pg)
+	}); err != nil {
+		return res, err
+	}
+	// Pages rolled off the bin at checkpoint fences but not yet
+	// archived are only findable by scanning the resident log window.
+	// Verified duplex reads: a rotted primary falls back to (and is
+	// repaired from) the mirror.
+	for lsn := simdisk.LSN(1); lsn < log.NextLSN(); lsn++ {
+		if seen[lsn] || skip[lsn] {
+			continue
+		}
+		var pg *wal.Page
+		_, err := log.ReadChecked(lsn, func(b []byte) error {
+			dp, derr := wal.DecodePage(b)
+			if derr != nil {
+				return derr
+			}
+			pg = dp
+			return nil
+		})
+		if err != nil {
+			if fault.IsFault(err) {
+				return res, err
+			}
+			if errors.Is(err, wal.ErrCorrupt) {
+				res.Damaged++ // both duplexed copies rotted
+			}
+			continue // dropped after archiving, or never written
+		}
+		if pg.PID != pid {
+			continue
+		}
+		if err := applyPg(lsn, pg); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }

@@ -13,11 +13,6 @@ import (
 
 var rootPID = addr.PartitionID{Segment: 0xFFFFFF, Part: 0xFFFFFF}
 
-// frame prefixes a raw log page with its tape entry kind.
-func frame(page []byte) []byte {
-	return append([]byte{simdisk.TapeKindLogPage}, page...)
-}
-
 func page(pid addr.PartitionID, recs ...wal.Record) []byte {
 	var buf []byte
 	for i := range recs {
@@ -30,33 +25,74 @@ func rec(tag wal.Tag, pid addr.PartitionID, slot addr.Slot, data string) wal.Rec
 	return wal.Record{Tag: tag, Txn: 1, PID: pid, Slot: slot, Data: []byte(data)}
 }
 
-func TestRebuildFromTapeDiskAndResidue(t *testing.T) {
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// mustAppend pushes a page onto the log disk and returns its LSN, so
+// tests distribute one coherent LSN-ordered history across the two
+// media exactly the way rollover does.
+func mustAppend(t *testing.T, log *simdisk.DuplexLog, page []byte) simdisk.LSN {
+	t.Helper()
+	lsn, err := log.Append(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lsn
+}
+
+func TestRebuildFromArchiveDiskAndResidue(t *testing.T) {
 	m := &cost.Meter{}
-	tape := simdisk.NewTape()
+	st := newTestStore(t)
 	log := simdisk.NewDuplexLog(simdisk.DefaultParams(), m)
 	pidA := addr.PartitionID{Segment: 2, Part: 0}
 	pidB := addr.PartitionID{Segment: 3, Part: 1}
 
-	// Oldest history on tape.
-	tape.Append(frame(page(pidA, rec(wal.TagRelInsert, pidA, 0, "a0"), rec(wal.TagRelInsert, pidA, 1, "a1"))))
-	tape.Append(frame(page(pidB, rec(wal.TagRelInsert, pidB, 0, "b0"))))
-	// Root page also archived, interleaved with an audit page that the
-	// rebuild must skip.
+	// One history through the log disk; the oldest pages (including a
+	// root page) are then rolled onto the archive and dropped, the way
+	// rollover does it.
+	p1 := page(pidA, rec(wal.TagRelInsert, pidA, 0, "a0"), rec(wal.TagRelInsert, pidA, 1, "a1"))
+	p2 := page(pidB, rec(wal.TagRelInsert, pidB, 0, "b0"))
 	root := &catalog.Root{NextRelID: 5, NextIdxID: 2, NextSeg: 7}
-	tape.Append(frame((&wal.Page{PID: rootPID, Records: root.Encode()}).Encode()))
-	tape.Append([]byte{simdisk.TapeKindAudit, 1, 2, 3})
-	// Mid history on the log disk.
-	if _, err := log.Append(page(pidA, rec(wal.TagRelUpdate, pidA, 0, "a0v2"), rec(wal.TagRelDelete, pidA, 1, ""))); err != nil {
+	p3 := (&wal.Page{PID: rootPID, Records: root.Encode()}).Encode()
+	p4 := page(pidA, rec(wal.TagRelUpdate, pidA, 0, "a0v2"), rec(wal.TagRelDelete, pidA, 1, ""))
+
+	lsn1 := mustAppend(t, log, p1)
+	lsn2 := mustAppend(t, log, p2)
+	lsn3 := mustAppend(t, log, p3)
+	mustAppend(t, log, p4)
+
+	for _, a := range []struct {
+		pid  addr.PartitionID
+		lsn  simdisk.LSN
+		page []byte
+	}{{pidA, lsn1, p1}, {pidB, lsn2, p2}, {rootPID, lsn3, p3}} {
+		if err := st.AppendPage(a.pid, a.lsn, a.page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An interleaved audit spool block the rebuild must skip.
+	if err := st.AppendAudit([]byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
+	log.Drop(lsn3)
+
 	// Newest history in stable-memory residue.
 	var res []byte
 	r := rec(wal.TagRelInsert, pidB, 1, "b1")
 	res = r.Encode(res)
 
-	store, gotRoot, err := Rebuild(tape, log, []Residue{{PID: pidB, Records: res}}, rootPID, 4096)
+	store, gotRoot, damaged, err := Rebuild(st, log, []Residue{{PID: pidB, Records: res}}, rootPID, 4096)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if damaged != 0 {
+		t.Fatalf("damaged = %d", damaged)
 	}
 	if gotRoot == nil || gotRoot.NextRelID != 5 || gotRoot.NextSeg != 7 {
 		t.Fatalf("root = %+v", gotRoot)
@@ -87,12 +123,15 @@ func TestRebuildFromTapeDiskAndResidue(t *testing.T) {
 }
 
 func TestRebuildEmpty(t *testing.T) {
-	store, root, err := Rebuild(simdisk.NewTape(), simdisk.NewDuplexLog(simdisk.DefaultParams(), nil), nil, rootPID, 4096)
+	store, root, damaged, err := Rebuild(newTestStore(t), simdisk.NewDuplexLog(simdisk.DefaultParams(), nil), nil, rootPID, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if root != nil {
 		t.Fatal("phantom root")
+	}
+	if damaged != 0 {
+		t.Fatalf("damaged = %d", damaged)
 	}
 	if len(store.ResidentIDs()) != 0 {
 		t.Fatal("phantom partitions")
@@ -101,15 +140,18 @@ func TestRebuildEmpty(t *testing.T) {
 
 func TestRebuildLatestRootWins(t *testing.T) {
 	m := &cost.Meter{}
-	tape := simdisk.NewTape()
+	st := newTestStore(t)
 	log := simdisk.NewDuplexLog(simdisk.DefaultParams(), m)
 	old := &catalog.Root{NextRelID: 2}
 	newer := &catalog.Root{NextRelID: 9}
-	tape.Append(frame((&wal.Page{PID: rootPID, Records: old.Encode()}).Encode()))
-	if _, err := log.Append((&wal.Page{PID: rootPID, Records: newer.Encode()}).Encode()); err != nil {
+	oldPage := (&wal.Page{PID: rootPID, Records: old.Encode()}).Encode()
+	lsn1 := mustAppend(t, log, oldPage)
+	mustAppend(t, log, (&wal.Page{PID: rootPID, Records: newer.Encode()}).Encode())
+	if err := st.AppendPage(rootPID, lsn1, oldPage); err != nil {
 		t.Fatal(err)
 	}
-	_, gotRoot, err := Rebuild(tape, log, nil, rootPID, 4096)
+	log.Drop(lsn1)
+	_, gotRoot, _, err := Rebuild(st, log, nil, rootPID, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,16 +160,163 @@ func TestRebuildLatestRootWins(t *testing.T) {
 	}
 }
 
-func TestRebuildCorruptPage(t *testing.T) {
-	tape := simdisk.NewTape()
-	tape.Append([]byte{simdisk.TapeKindLogPage, 2})
-	if _, _, err := Rebuild(tape, simdisk.NewDuplexLog(simdisk.DefaultParams(), nil), nil, rootPID, 4096); err == nil {
-		t.Fatal("corrupt page accepted")
+func TestRebuildSkipsDamagedPage(t *testing.T) {
+	// A page that no longer decodes is detected rot: skipped and
+	// counted, never applied, never aborting the rest of the history.
+	st := newTestStore(t)
+	pid := addr.PartitionID{Segment: 2, Part: 0}
+	if err := st.AppendPage(pid, 1, []byte{2}); err != nil { // not a wal page
+		t.Fatal(err)
 	}
-	// Unknown tape entry kinds are rejected, not guessed at.
-	tape2 := simdisk.NewTape()
-	tape2.Append([]byte{0x7F, 1, 2})
-	if _, _, err := Rebuild(tape2, simdisk.NewDuplexLog(simdisk.DefaultParams(), nil), nil, rootPID, 4096); err == nil {
-		t.Fatal("unknown tape kind accepted")
+	good := page(pid, rec(wal.TagRelInsert, pid, 0, "ok"))
+	if err := st.AppendPage(pid, 2, good); err != nil {
+		t.Fatal(err)
+	}
+	store, _, damaged, err := Rebuild(st, simdisk.NewDuplexLog(simdisk.DefaultParams(), nil), nil, rootPID, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged != 1 {
+		t.Fatalf("damaged = %d, want 1", damaged)
+	}
+	p, err := store.Partition(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Read(0); !bytes.Equal(got, []byte("ok")) {
+		t.Fatalf("slot0 = %q: good history lost behind the rotted page", got)
+	}
+
+	// Same through the single-partition path.
+	res, err := RebuildPartition(st, simdisk.NewDuplexLog(simdisk.DefaultParams(), nil), pid, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged != 1 || res.Pages != 1 {
+		t.Fatalf("partition rebuild = %+v", res)
+	}
+	if got, _ := res.Partition.Read(0); !bytes.Equal(got, []byte("ok")) {
+		t.Fatalf("partition slot0 = %q", got)
+	}
+}
+
+func TestRebuildOverlapWindowReplaysOnce(t *testing.T) {
+	// The rollover window is real: pages are fsynced into the archive
+	// before the log copies drop, and a crash between the two leaves the
+	// same LSNs live on both media. They must replay exactly once — a
+	// second pass over an insert that a later page deleted would
+	// resurrect the slot.
+	m := &cost.Meter{}
+	st := newTestStore(t)
+	log := simdisk.NewDuplexLog(simdisk.DefaultParams(), m)
+	pid := addr.PartitionID{Segment: 2, Part: 0}
+
+	p1 := page(pid, rec(wal.TagRelInsert, pid, 0, "v0"))
+	p2 := page(pid, rec(wal.TagRelDelete, pid, 0, ""))
+	p3 := page(pid, rec(wal.TagRelInsert, pid, 1, "v1"))
+	lsn1 := mustAppend(t, log, p1)
+	lsn2 := mustAppend(t, log, p2)
+	mustAppend(t, log, p3)
+	// Rolled into the archive, crash before Drop: overlap.
+	if err := st.AppendPage(pid, lsn1, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendPage(pid, lsn2, p2); err != nil {
+		t.Fatal(err)
+	}
+
+	store, _, damaged, err := Rebuild(st, log, nil, rootPID, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged != 0 {
+		t.Fatalf("damaged = %d", damaged)
+	}
+	p, err := store.Partition(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(0); err == nil {
+		t.Fatal("deleted slot 0 present after overlap replay")
+	}
+	if got, _ := p.Read(1); !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("slot1 = %q", got)
+	}
+
+	res, err := RebuildPartition(st, log, pid, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages != 3 {
+		t.Fatalf("pages replayed = %d, want 3 (each LSN exactly once)", res.Pages)
+	}
+	if _, err := res.Partition.Read(0); err == nil {
+		t.Fatal("deleted slot 0 present after partition overlap replay")
+	}
+	if got, _ := res.Partition.Read(1); !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("partition slot1 = %q", got)
+	}
+}
+
+func TestRebuildPartitionSkipSet(t *testing.T) {
+	// LSNs listed in skip belong to the caller (the Stable Log Tail bin
+	// is replayed on top of the rebuilt image): applying them here too
+	// would replay them out of order relative to the bin's own pass.
+	m := &cost.Meter{}
+	st := newTestStore(t)
+	log := simdisk.NewDuplexLog(simdisk.DefaultParams(), m)
+	pid := addr.PartitionID{Segment: 2, Part: 0}
+
+	p1 := page(pid, rec(wal.TagRelInsert, pid, 0, "v0"))
+	p2 := page(pid, rec(wal.TagRelUpdate, pid, 0, "v1"))
+	lsn1 := mustAppend(t, log, p1)
+	lsn2 := mustAppend(t, log, p2)
+	if err := st.AppendPage(pid, lsn1, p1); err != nil {
+		t.Fatal(err)
+	}
+	log.Drop(lsn1)
+
+	res, err := RebuildPartition(st, log, pid, 4096, map[simdisk.LSN]bool{lsn2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages != 1 {
+		t.Fatalf("pages = %d, want 1 (skip-set page excluded)", res.Pages)
+	}
+	if got, _ := res.Partition.Read(0); !bytes.Equal(got, []byte("v0")) {
+		t.Fatalf("slot0 = %q, want pre-bin value", got)
+	}
+}
+
+func TestRebuildPartitionFiltersOthers(t *testing.T) {
+	m := &cost.Meter{}
+	st := newTestStore(t)
+	log := simdisk.NewDuplexLog(simdisk.DefaultParams(), m)
+	pidA := addr.PartitionID{Segment: 2, Part: 0}
+	pidB := addr.PartitionID{Segment: 2, Part: 1}
+
+	pa := page(pidA, rec(wal.TagRelInsert, pidA, 0, "a"))
+	pb := page(pidB, rec(wal.TagRelInsert, pidB, 0, "b"))
+	pa2 := page(pidA, rec(wal.TagRelUpdate, pidA, 0, "a2"))
+	lsnA := mustAppend(t, log, pa)
+	lsnB := mustAppend(t, log, pb)
+	mustAppend(t, log, pa2)
+	if err := st.AppendPage(pidA, lsnA, pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendPage(pidB, lsnB, pb); err != nil {
+		t.Fatal(err)
+	}
+	log.Drop(lsnB)
+
+	res, err := RebuildPartition(st, log, pidA, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages != 2 {
+		t.Fatalf("pages = %d, want only partition A's two", res.Pages)
+	}
+	if got, _ := res.Partition.Read(0); !bytes.Equal(got, []byte("a2")) {
+		t.Fatalf("slot0 = %q", got)
 	}
 }

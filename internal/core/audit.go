@@ -5,7 +5,7 @@ import (
 	"errors"
 	"sync"
 
-	"mmdb/internal/simdisk"
+	"mmdb/internal/archive"
 	"mmdb/internal/stablemem"
 )
 
@@ -68,7 +68,7 @@ type auditState struct {
 type AuditTrail struct {
 	st      *auditState
 	mem     *stablemem.Memory
-	tape    interface{ Append([]byte) }
+	arch    *archive.Store
 	bufSize int
 }
 
@@ -84,14 +84,13 @@ func (m *Manager) Audit() (*AuditTrail, error) {
 		st = &auditState{buf: blk}
 		m.hw.Stable.SetRoot(auditRootKey, st)
 	}
-	return &AuditTrail{st: st, mem: m.hw.Stable, tape: m.hw.Tape, bufSize: 64 << 10}, nil
+	return &AuditTrail{st: st, mem: m.hw.Stable, arch: m.hw.Arch, bufSize: 64 << 10}, nil
 }
 
 // Append records one audit entry; transactions call it at initiation.
 // When the stable buffer fills, its contents are spooled to the archive
-// tape (prefixed so archive scans can distinguish audit pages from log
-// pages — audit pages start with the marker byte 0xA5, which is not a
-// valid wal record tag).
+// store as audit entries (archive.EntryAudit), which rebuild scans
+// skip — audit data never affects database state.
 func (a *AuditTrail) Append(e AuditEntry) error {
 	enc := e.encode()
 	a.st.mu.Lock()
@@ -102,7 +101,7 @@ func (a *AuditTrail) Append(e AuditEntry) error {
 	if err := a.st.buf.Append(enc); err != nil {
 		if errors.Is(err, stablemem.ErrNoSpace) {
 			// Entry larger than the whole buffer: spool it directly.
-			a.tape.Append(append([]byte{simdisk.TapeKindAudit}, enc...))
+			_ = a.arch.AppendAudit(enc)
 			return nil
 		}
 		return err
@@ -114,7 +113,7 @@ func (a *AuditTrail) spoolLocked() {
 	if a.st.buf.Len() == 0 {
 		return
 	}
-	a.tape.Append(append([]byte{simdisk.TapeKindAudit}, a.st.buf.Bytes()...))
+	_ = a.arch.AppendAudit(a.st.buf.Bytes())
 	a.st.buf.Reset()
 }
 
@@ -133,15 +132,7 @@ func (a *AuditTrail) Pending() []AuditEntry {
 	return decodeAuditEntries(a.st.buf.Bytes())
 }
 
-// IsAuditPage reports whether an archive tape entry is an audit page.
-func IsAuditPage(entry []byte) bool {
-	return len(entry) > 0 && entry[0] == simdisk.TapeKindAudit
-}
-
-// DecodeAuditPage parses an audit tape entry.
-func DecodeAuditPage(entry []byte) []AuditEntry {
-	if !IsAuditPage(entry) {
-		return nil
-	}
-	return decodeAuditEntries(entry[1:])
+// DecodeAuditPage parses the data of an archive.EntryAudit entry.
+func DecodeAuditPage(data []byte) []AuditEntry {
+	return decodeAuditEntries(data)
 }

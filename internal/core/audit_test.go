@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"testing"
 
-	"mmdb/internal/simdisk"
+	"mmdb/internal/archive"
 )
 
 func TestAuditTrailAppendPending(t *testing.T) {
@@ -51,7 +51,7 @@ func TestAuditTrailSurvivesCrash(t *testing.T) {
 	}
 }
 
-func TestAuditTrailSpoolsToTape(t *testing.T) {
+func TestAuditTrailSpoolsToArchive(t *testing.T) {
 	h := newHarness(t, testCfg())
 	a, err := h.m.Audit()
 	if err != nil {
@@ -63,27 +63,29 @@ func TestAuditTrailSpoolsToTape(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if h.hw.Tape.Len() == 0 {
+	if h.hw.Arch.Entries() == 0 {
 		t.Fatal("full audit buffer not spooled")
 	}
 	a.Flush()
 	if len(a.Pending()) != 0 {
 		t.Fatal("Flush left pending entries")
 	}
-	// Tape entries are recognisable audit pages, and decodable.
+	// Archived entries are kind-tagged audit entries, and decodable.
 	var audits int
-	_ = h.hw.Tape.Scan(func(e []byte) error {
-		if IsAuditPage(e) {
-			audits += len(DecodeAuditPage(e))
+	if err := h.hw.Arch.Scan(func(e archive.Entry) error {
+		if e.Kind == archive.EntryAudit {
+			audits += len(DecodeAuditPage(e.Data))
 		}
 		return nil
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if audits != 12 {
-		t.Fatalf("decoded %d audit entries from tape, want 12", audits)
+		t.Fatalf("decoded %d audit entries from archive, want 12", audits)
 	}
 }
 
-func TestAuditOversizedEntryGoesStraightToTape(t *testing.T) {
+func TestAuditOversizedEntryGoesStraightToArchive(t *testing.T) {
 	h := newHarness(t, testCfg())
 	a, err := h.m.Audit()
 	if err != nil {
@@ -93,8 +95,8 @@ func TestAuditOversizedEntryGoesStraightToTape(t *testing.T) {
 	if err := a.Append(AuditEntry{Txn: 1, Message: huge}); err != nil {
 		t.Fatal(err)
 	}
-	if h.hw.Tape.Len() != 1 {
-		t.Fatalf("tape entries = %d", h.hw.Tape.Len())
+	if n := h.hw.Arch.Entries(); n != 1 {
+		t.Fatalf("archive entries = %d", n)
 	}
 	if len(a.Pending()) != 0 {
 		t.Fatal("oversized entry buffered")
@@ -103,7 +105,7 @@ func TestAuditOversizedEntryGoesStraightToTape(t *testing.T) {
 
 func TestAuditPagesDoNotBreakArchiveRebuild(t *testing.T) {
 	// Interleave audit spools with real log archiving and ensure the
-	// tape type-framing keeps them apart.
+	// entry kind-framing keeps them apart.
 	cfg := testCfg()
 	cfg.LogWindowPages = 8
 	cfg.UpdateThreshold = 16
@@ -126,19 +128,21 @@ func TestAuditPagesDoNotBreakArchiveRebuild(t *testing.T) {
 	}
 	h.m.WaitIdle()
 	var logPages, auditPages, other int
-	_ = h.hw.Tape.Scan(func(e []byte) error {
-		switch {
-		case IsAuditPage(e):
+	if err := h.hw.Arch.Scan(func(e archive.Entry) error {
+		switch e.Kind {
+		case archive.EntryAudit:
 			auditPages++
-		case len(e) > 0 && e[0] == simdisk.TapeKindLogPage:
+		case archive.EntryLogPage:
 			logPages++
 		default:
 			other++
 		}
 		return nil
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if other != 0 {
-		t.Fatalf("%d unframed tape entries", other)
+		t.Fatalf("%d unknown-kind archive entries", other)
 	}
 	if auditPages == 0 {
 		t.Fatal("no audit pages spooled")

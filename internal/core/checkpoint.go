@@ -2,7 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"time"
 
@@ -66,6 +69,36 @@ func (d *diskMap) markUsed(t simdisk.TrackLoc) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.used[t] = true
+}
+
+// sealImage wraps a partition image with a CRC32 trailer for the trip
+// to (and especially back from) the checkpoint disk. Sector ECC and the
+// write-verify cover the write path; the trailer is what lets the
+// restart path detect rot that happened while the image sat on disk —
+// content damage FromImage's structural checks cannot see.
+func sealImage(img []byte) []byte {
+	out := make([]byte, len(img)+4)
+	copy(out, img)
+	binary.LittleEndian.PutUint32(out[len(img):], crc32.ChecksumIEEE(img))
+	return out
+}
+
+// errImageChecksum reports a checkpoint image whose envelope CRC no
+// longer matches: the image rotted on (or on the way back from) the
+// checkpoint disk.
+var errImageChecksum = errors.New("core: checkpoint image envelope checksum mismatch")
+
+// openImage verifies and strips the envelope written by sealImage.
+func openImage(blob []byte) ([]byte, error) {
+	if len(blob) < 4 {
+		return nil, fmt.Errorf("%w: %d-byte envelope", errImageChecksum, len(blob))
+	}
+	img := blob[:len(blob)-4]
+	want := binary.LittleEndian.Uint32(blob[len(blob)-4:])
+	if crc32.ChecksumIEEE(img) != want {
+		return nil, errImageChecksum
+	}
+	return img, nil
 }
 
 // maxCkptAttempts bounds retries of a failing checkpoint before its
@@ -199,7 +232,13 @@ func (m *Manager) runCheckpoint(req *ckptReq) error {
 		m.dmap.free(track)
 		return err
 	}
-	if err := m.hw.Ckpt.WriteTrack(track, img); err != nil {
+	// The image travels in a checksummed envelope: FromImage validates
+	// structure but cannot see content rot (a flipped byte inside row
+	// data parses fine), so the restart path needs an end-to-end CRC to
+	// decide "this image rotted, rebuild from the archive" with no
+	// silent-wrong-data window.
+	blob := sealImage(img)
+	if err := m.hw.Ckpt.WriteTrack(track, blob); err != nil {
 		m.dmap.free(track)
 		return err
 	}
@@ -209,7 +248,7 @@ func (m *Manager) runCheckpoint(req *ckptReq) error {
 	// ckpt.read fault point; a mismatch fails this attempt into the
 	// normal retry path while the superseded image is still live (§2.4
 	// never overwrites the old copy, so the failure costs nothing).
-	if stored, bad, ok := m.hw.Ckpt.TrackState(track); !ok || bad || !bytes.Equal(stored, img) {
+	if stored, bad, ok := m.hw.Ckpt.TrackState(track); !ok || bad || !bytes.Equal(stored, blob) {
 		m.metrics.CkptVerifyFailed.Inc()
 		m.dmap.free(track)
 		return fmt.Errorf("core: checkpoint write-verify of %v failed on track %d", pid, track)

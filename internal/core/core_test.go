@@ -52,7 +52,10 @@ func testCfg() Config {
 
 func newHarness(t *testing.T, cfg Config) *harness {
 	t.Helper()
-	hw := NewHardware(cfg)
+	hw, err := NewHardware(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	h := &harness{t: t, cfg: cfg, hw: hw, tracks: make(map[addr.PartitionID]simdisk.TrackLoc)}
 	hw.Stable.SetRoot("test-tracks", h.tracks)
 	h.attach()
@@ -370,7 +373,7 @@ func TestLenientReplayOntoNewerImage(t *testing.T) {
 	}
 }
 
-func TestWindowArchivesToTape(t *testing.T) {
+func TestWindowArchivesToStore(t *testing.T) {
 	cfg := testCfg()
 	cfg.LogWindowPages = 8
 	cfg.GracePages = 2
@@ -384,7 +387,7 @@ func TestWindowArchivesToTape(t *testing.T) {
 		h.update(a, bytes.Repeat([]byte{byte(i)}, 64))
 	}
 	h.m.WaitIdle()
-	h.waitFor("tape archive", func() bool { return h.hw.Tape.Len() > 0 })
+	h.waitFor("archive segments", func() bool { return h.hw.Arch.Entries() > 0 })
 	// The log disk footprint stays near the window size.
 	h.waitFor("bounded log disk", func() bool {
 		return h.m.Hardware().Log.Primary.PageCount() <= cfg.LogWindowPages+cfg.GracePages+4

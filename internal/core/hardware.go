@@ -1,6 +1,7 @@
 package core
 
 import (
+	"mmdb/internal/archive"
 	"mmdb/internal/cost"
 	"mmdb/internal/simdisk"
 	"mmdb/internal/stablemem"
@@ -9,7 +10,8 @@ import (
 // Hardware bundles everything that survives a crash: the stable
 // reliable memory (holding the Stable Log Buffer, Stable Log Tail, and
 // the well-known root), the duplexed log disks, the checkpoint disk
-// set, and the archive tape — plus the cost meter (§2.2, Figure 1).
+// set, and the append-only archive store — plus the cost meter (§2.2,
+// Figure 1).
 //
 // DB.Crash() discards every volatile structure and returns this value;
 // Recover builds a fresh system around it.
@@ -17,18 +19,26 @@ type Hardware struct {
 	Stable *stablemem.Memory
 	Log    *simdisk.DuplexLog
 	Ckpt   *simdisk.CheckpointDisk
-	Tape   *simdisk.Tape
+	Arch   *archive.Store
 	Meter  *cost.Meter
 }
 
 // NewHardware builds the hardware complement for a fresh database.
-func NewHardware(cfg Config) *Hardware {
+// With Config.ArchiveDir set, the archive tier opens (or resumes) real
+// segment files there, so archived history survives the process; empty
+// selects the in-memory backend, which survives simulated power cycles
+// but not process exit.
+func NewHardware(cfg Config) (*Hardware, error) {
 	m := &cost.Meter{}
+	arch, err := archive.Open(cfg.ArchiveDir, cfg.ArchiveSegmentBytes)
+	if err != nil {
+		return nil, err
+	}
 	return &Hardware{
 		Stable: stablemem.New(cfg.StableBytes, cfg.StableSlowdown, m),
 		Log:    simdisk.NewDuplexLog(cfg.Disk, m),
 		Ckpt:   simdisk.NewCheckpointDisk(cfg.CheckpointTracks, cfg.Disk, m),
-		Tape:   simdisk.NewTape(),
+		Arch:   arch,
 		Meter:  m,
-	}
+	}, nil
 }

@@ -206,6 +206,8 @@ func New(hw *Hardware, cfg Config, store *mm.Store, locks *lock.Manager) (*Manag
 	hw.Log.Primary.SetInjector(m.inj, fault.PointLogWritePrimary, fault.PointLogReadPrimary)
 	hw.Log.Mirror.SetInjector(m.inj, fault.PointLogWriteMirror, fault.PointLogReadMirror)
 	hw.Ckpt.SetInjector(m.inj)
+	hw.Arch.SetInjector(m.inj)
+	hw.Arch.SetOnSeal(m.metrics.ArchSegments.Inc)
 	hw.Log.Fallbacks = mt.DuplexFallbacks
 	hw.Log.Repairs = mt.DuplexRepairs
 	m.inj.SetCounters(fault.Counters{
@@ -605,7 +607,15 @@ func (m *Manager) archiveLocked(tail simdisk.LSN) {
 		limit = floor - 1
 	}
 	for lsn := m.slt.st.lastArchived + 1; lsn <= limit; lsn++ {
-		page, err := m.hw.Log.Read(lsn)
+		var pg *wal.Page
+		page, err := m.hw.Log.ReadChecked(lsn, func(b []byte) error {
+			dp, derr := wal.DecodePage(b)
+			if derr != nil {
+				return derr
+			}
+			pg = dp
+			return nil
+		})
 		if err != nil {
 			if fault.IsFault(err) {
 				// Injected fault (or the crash itself): stop here so
@@ -614,16 +624,30 @@ func (m *Manager) archiveLocked(tail simdisk.LSN) {
 				limit = lsn - 1
 				break
 			}
-			// Already dropped or never written (a permanent hole left
-			// by a crashed append); skip.
+			// Already dropped, never written (a permanent hole left by
+			// a crashed append), or rotted beyond both duplexed copies
+			// (nothing left worth archiving); skip.
 			continue
 		}
-		m.hw.Tape.Append(append([]byte{simdisk.TapeKindLogPage}, page...))
+		// The archive entry records the page's partition and LSN: the
+		// per-segment index needs the identity for partition-granular
+		// rebuild, and the LSN is what rebuilds dedupe by (a crashed
+		// rollover retries, so appends are at-least-once).
+		if err := m.hw.Arch.AppendPage(pg.PID, lsn, page); err != nil {
+			limit = lsn - 1
+			break
+		}
 		m.metrics.PagesArchived.Add(1)
 	}
 	if limit > m.slt.st.lastArchived {
-		m.hw.Log.Drop(limit)
-		m.slt.st.lastArchived = limit
+		// Fsync the archive segment before dropping the rolled pages
+		// from the log disks: at no instant may a page exist only in a
+		// volatile archive buffer. A failed sync leaves the pages on
+		// the disks; the roll is retried next round.
+		if err := m.hw.Arch.Sync(); err == nil {
+			m.hw.Log.Drop(limit)
+			m.slt.st.lastArchived = limit
+		}
 	}
 }
 

@@ -84,9 +84,29 @@ type Metrics struct {
 	// its CRC/format check during sort or replay is quarantined (skipped
 	// and counted), never applied. CorruptDetected counts detection
 	// events across all replay parsers; QuarantinedRecords counts the
-	// records confirmed lost to a quarantined byte range.
+	// records confirmed lost to a quarantined byte range;
+	// ImagesQuarantined counts whole checkpoint images given up on
+	// (stale catalog track, envelope checksum mismatch, or structural
+	// rot) — distinct from the per-record counter, because one lost
+	// image is not one lost record.
+	// TornTailCuts counts undecodable bin-tail suffixes cut back at
+	// restart without a checksum mismatch: a torn final append from the
+	// crash itself, or tail-truncating rot — the two are physically
+	// indistinguishable, so the cut is surfaced as evidence either way.
 	QuarantinedRecords *metrics.Counter
 	CorruptDetected    *metrics.Counter
+	ImagesQuarantined  *metrics.Counter
+	TornTailCuts       *metrics.Counter
+
+	// archive — the append-only segment store (§2.6) and the
+	// partition-granular rebuild path that turns a rotted checkpoint
+	// image into a repair instead of a loss. ArchRebuildFailed counts
+	// the degraded path: the archive itself could not serve and
+	// recovery fell back to an announced empty image.
+	ArchSegments      *metrics.Counter
+	ArchRebuilds      *metrics.Counter
+	ArchRebuildFailed *metrics.Counter
+	ArchRebuildTime   *metrics.Histogram
 
 	// heat — per-partition access-heat tracking (internal/heat): the
 	// crash-surviving ranking behind heat-ordered recovery.
@@ -130,6 +150,7 @@ func newMetrics(streams int) *Metrics {
 	logS := reg.Subsystem("log")
 	ckpt := reg.Subsystem("checkpoint")
 	restart := reg.Subsystem("restart")
+	archS := reg.Subsystem("archive")
 	heatS := reg.Subsystem("heat")
 	lockS := reg.Subsystem("lock")
 	faultS := reg.Subsystem("fault")
@@ -200,6 +221,19 @@ func newMetrics(streams int) *Metrics {
 			"REDO records lost to quarantined corrupt byte ranges during sort/replay (never applied)"),
 		CorruptDetected: restart.Counter("corrupt_records_detected", "events",
 			"replay-side corruption detections: record CRC, page checksum, or image validation failures"),
+		ImagesQuarantined: restart.Counter("images_quarantined", "images",
+			"checkpoint images given up on during recovery (stale track, bad envelope checksum, or structural rot)"),
+		TornTailCuts: restart.Counter("torn_tail_cuts", "cuts",
+			"undecodable bin-tail suffixes cut at restart: a torn final append or tail-truncating rot (indistinguishable)"),
+
+		ArchSegments: archS.Counter("segments_written", "segments",
+			"archive segments sealed (page directory appended, file fsynced, segment immutable)"),
+		ArchRebuilds: archS.Counter("rebuilds", "parts",
+			"partitions rebuilt from the archive after a lost or rotted checkpoint image (§2.6)"),
+		ArchRebuildFailed: archS.Counter("rebuild_failed", "parts",
+			"archive rebuilds that could not serve; recovery degraded to an announced empty image"),
+		ArchRebuildTime: archS.Histogram("rebuild_ns", "ns",
+			"wall time of one partition-granular archive rebuild"),
 
 		HeatTouches:  heatS.Counter("touches", "touches", "partition accesses recorded by the heat tracker"),
 		HeatPersists: heatS.Counter("persists", "persists", "heat-ranking serialisations into the stable snapshot region"),

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"mmdb/internal/addr"
+	"mmdb/internal/archive"
 	"mmdb/internal/catalog"
 	"mmdb/internal/fault"
 	"mmdb/internal/mm"
@@ -133,6 +134,18 @@ func (m *Manager) DrainStableOnly() {
 						Kind: trace.KindRecordQuarantine,
 						Arg:  uint64(n), Arg2: uint64(len(buf) - n),
 						Str: derr.Error(),
+					}, b.pid))
+				} else {
+					// A short (non-checksum) tail is either the crash's own
+					// torn final append — harmless, the chain re-sorts it —
+					// or rot that truncated an acknowledged record, which is
+					// a real loss. The two are byte-identical from here, so
+					// the cut itself is surfaced as evidence.
+					m.metrics.TornTailCuts.Inc()
+					m.tracer.Emit(pidEvent(trace.Event{
+						Kind: trace.KindRecordQuarantine,
+						Arg:  uint64(n), Arg2: uint64(len(buf) - n),
+						Str: "torn tail cut",
 					}, b.pid))
 				}
 				b.cur.Truncate(n)
@@ -377,6 +390,59 @@ func (m *Manager) sweepRecover(pid addr.PartitionID) bool {
 	}
 }
 
+// repairLostImage handles a checkpoint image RecoverPartition cannot
+// use — a stale catalog track, a bad envelope checksum, or structural
+// rot. The loss of the image is counted and traced (it is one lost
+// image, not one lost record), then the partition is rebuilt from its
+// archived history plus the resident log window (§2.6). The bin's page
+// list is excluded from the rebuild because the caller replays it
+// afterwards — replaying those pages twice, the second time after newer
+// ones, would resurrect deleted slots.
+//
+// An injected fault (or the crash itself) during the rebuild propagates
+// so the restart retries; any other rebuild failure degrades to the
+// announced-empty-image path, counted under archive/rebuild_failed.
+func (m *Manager) repairLostImage(pid addr.PartitionID, imgBytes int, cause error) (*mm.Partition, error) {
+	m.metrics.CorruptDetected.Inc()
+	m.metrics.ImagesQuarantined.Inc()
+	m.tracer.Emit(pidEvent(trace.Event{
+		Kind: trace.KindRecordQuarantine, Arg2: uint64(imgBytes), Str: cause.Error(),
+	}, pid))
+
+	skip := make(map[simdisk.LSN]bool)
+	m.slt.st.mu.Lock()
+	if b, ok := m.slt.st.bins[pid]; ok {
+		for _, lsn := range b.pages {
+			skip[lsn] = true
+		}
+	}
+	m.slt.st.mu.Unlock()
+
+	start := time.Now()
+	res, rerr := archive.RebuildPartition(m.hw.Arch, m.hw.Log, pid, m.cfg.PartitionSize, skip)
+	if rerr != nil {
+		if fault.IsFault(rerr) {
+			return nil, fmt.Errorf("core: archive rebuild of %v: %w", pid, rerr)
+		}
+		m.metrics.ArchRebuildFailed.Inc()
+		m.tracer.Emit(pidEvent(trace.Event{
+			Kind: trace.KindArchiveRebuild, Str: rerr.Error(),
+		}, pid))
+		return mm.NewPartition(pid, m.cfg.PartitionSize), nil
+	}
+	if res.Damaged > 0 {
+		// Rot inside the archive itself: skipped pages cost records,
+		// but every one was detected, never applied.
+		m.metrics.CorruptDetected.Add(int64(res.Damaged))
+	}
+	m.metrics.ArchRebuilds.Inc()
+	m.metrics.ArchRebuildTime.ObserveSince(start)
+	m.tracer.Emit(pidEvent(trace.Event{
+		Kind: trace.KindArchiveRebuild, Arg: uint64(res.Pages), Arg2: uint64(res.Damaged),
+	}, pid))
+	return res.Partition, nil
+}
+
 // RecoverPartition runs one recovery transaction (§2.5): read the
 // partition's checkpoint image from the checkpoint disk, read its log
 // pages (scheduled in originally-written order via the page list /
@@ -386,45 +452,38 @@ func (m *Manager) RecoverPartition(pid addr.PartitionID, track simdisk.TrackLoc)
 	recStart := time.Now()
 	var p *mm.Partition
 	if track != simdisk.NilTrack {
-		img, err := m.hw.Ckpt.ReadTrack(track)
-		if errors.Is(err, simdisk.ErrNoSuchTrack) {
-			// The catalog points at a track the disk no longer holds.
-			// Byte rot can manufacture this: a quarantined catalog REDO
-			// record loses a checkpoint relocation, leaving the catalog
-			// aimed at the superseded track — which was physically freed
-			// after the (durably committed, then rotted-away) switch.
-			// The stale pointer is detected loss, not a restart-fatal
-			// condition: count it, trace it, and recover from an empty
-			// image plus whatever log records still replay below.
-			m.metrics.CorruptDetected.Inc()
-			m.metrics.QuarantinedRecords.Inc()
-			m.tracer.Emit(pidEvent(trace.Event{
-				Kind: trace.KindRecordQuarantine, Str: err.Error(),
-			}, pid))
-			img, err = nil, nil
-		}
-		if err != nil {
+		blob, err := m.hw.Ckpt.ReadTrack(track)
+		if err != nil && !errors.Is(err, simdisk.ErrNoSuchTrack) {
+			// Transient faults and whole-disk failures propagate: the
+			// restart retries, or escalates to media-failure recovery.
 			return nil, fmt.Errorf("core: reading checkpoint image of %v: %w", pid, err)
 		}
-		if img != nil {
-			p, err = mm.FromImage(pid, img)
-		} else {
-			p = mm.NewPartition(pid, m.cfg.PartitionSize)
+		if err == nil {
+			// The envelope CRC catches content rot under valid sector
+			// ECC; FromImage catches structural rot. Either failure
+			// means the image cannot be trusted at all.
+			var img []byte
+			if img, err = openImage(blob); err == nil {
+				p, err = mm.FromImage(pid, img)
+			}
 		}
 		if err != nil {
-			// The image is structurally rotted under valid ECC (a
-			// mutation fault or real decay the sector ECC missed).
-			// Recovery proceeds from an empty image: rows living only in
-			// the checkpoint are lost, but the loss is detected — counted
-			// and traced — never silently applied, and the log records
-			// since the checkpoint still replay below.
-			m.metrics.CorruptDetected.Inc()
-			m.metrics.QuarantinedRecords.Inc()
-			m.tracer.Emit(pidEvent(trace.Event{
-				Kind: trace.KindRecordQuarantine,
-				Arg2: uint64(len(img)), Str: err.Error(),
-			}, pid))
-			p = mm.NewPartition(pid, m.cfg.PartitionSize)
+			// The image is lost: the catalog points at a track the disk
+			// no longer holds (byte rot can manufacture this — a
+			// quarantined catalog REDO record loses a checkpoint
+			// relocation, leaving the catalog aimed at a superseded,
+			// physically freed track), or the image bytes rotted in
+			// place. Either way this is a repair, not a loss: the
+			// partition's full history is still in the archive segments
+			// plus the resident log window (§2.6), so rebuild it from
+			// there and let the bin replay below stack on top, exactly
+			// as it would have on the image. Only when the archive
+			// itself cannot serve does recovery degrade to the old
+			// announced-empty-image path.
+			p, err = m.repairLostImage(pid, len(blob), err)
+			if err != nil {
+				return nil, err
+			}
 		}
 	} else {
 		p = mm.NewPartition(pid, m.cfg.PartitionSize)

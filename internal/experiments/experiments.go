@@ -53,7 +53,10 @@ type harness struct {
 }
 
 func newHarness(cfg core.Config) (*harness, error) {
-	hw := core.NewHardware(cfg)
+	hw, err := core.NewHardware(cfg)
+	if err != nil {
+		return nil, err
+	}
 	store := mm.NewStore(cfg.PartitionSize)
 	m, err := core.New(hw, cfg, store, lock.NewManager())
 	if err != nil {
@@ -320,7 +323,10 @@ func RecoveryComparison(nParts, hotParts, recsPerPart int) (*RecoveryResult, err
 	cfg.StableBytes = 256 << 20
 	cfg.BackgroundRecovery = false
 
-	hw := core.NewHardware(cfg)
+	hw, err := core.NewHardware(cfg)
+	if err != nil {
+		return nil, err
+	}
 	tracks := map[addr.PartitionID]simdisk.TrackLoc{}
 	attach := func() (*core.Manager, *mm.Store, error) {
 		store := mm.NewStore(cfg.PartitionSize)

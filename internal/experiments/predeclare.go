@@ -44,7 +44,10 @@ type PredeclareResult struct {
 func PredeclareVsDemand(nParts, hotParts, txns, recsPerPart int) (*PredeclareResult, error) {
 	build := func() (*core.Hardware, map[addr.PartitionID]simdisk.TrackLoc, error) {
 		cfg := predeclareCfg()
-		hw := core.NewHardware(cfg)
+		hw, err := core.NewHardware(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
 		tracks := map[addr.PartitionID]simdisk.TrackLoc{}
 		m, store, err := attachPredeclare(hw, cfg, tracks)
 		if err != nil {

@@ -74,7 +74,10 @@ func sweepScalingOne(nParts int, workerCounts []int, recsPerPart int) ([]SweepSc
 	cfg.BackgroundRecovery = false // the benchmark calls Sweep itself
 	cfg.TraceBufferEvents = 4 * nParts
 
-	hw := core.NewHardware(cfg)
+	hw, err := core.NewHardware(cfg)
+	if err != nil {
+		return nil, err
+	}
 	tracks := map[addr.PartitionID]simdisk.TrackLoc{}
 	pids := make([]addr.PartitionID, nParts)
 	for i := range pids {

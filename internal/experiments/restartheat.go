@@ -78,7 +78,10 @@ func HeatOrderingTTP99(nParts, hotParts int, workerCounts []int, recsPerPart int
 	cfg.HeatSnapshotBytes = 64 << 10
 	cfg.HeatPersistEvery = 1 << 30 // persist only on explicit request
 
-	hw := core.NewHardware(cfg)
+	hw, err := core.NewHardware(cfg)
+	if err != nil {
+		return nil, err
+	}
 	tracks := map[addr.PartitionID]simdisk.TrackLoc{}
 	pids := make([]addr.PartitionID, nParts)
 	for i := range pids {

@@ -70,6 +70,14 @@ const (
 	PointCkptAfterFence   Point = "ckpt.after-fence"
 	PointCkptAfterImage   Point = "ckpt.after-image"
 	PointCkptBeforeCommit Point = "ckpt.before-commit"
+	// Archive segment store (§2.6): one "arch.append" hit per entry
+	// appended during log-disk rollover (and audit spooling), one
+	// "arch.read" hit per entry delivered to an archive scan or a
+	// partition rebuild. Faulting arch.read exercises the fallback of
+	// the fallback: recovery of a rotted checkpoint image crashing or
+	// rotting mid-rebuild.
+	PointArchAppend Point = "arch.append"
+	PointArchRead   Point = "arch.read"
 )
 
 // AllPoints lists every defined fault point.
@@ -81,6 +89,7 @@ func AllPoints() []Point {
 		PointStableAppend,
 		PointSLBAppend, PointSLBSeal,
 		PointCkptAfterFence, PointCkptAfterImage, PointCkptBeforeCommit,
+		PointArchAppend, PointArchRead,
 	}
 }
 
@@ -428,7 +437,16 @@ func (d Decision) MutateBytes(p []byte) []byte {
 	case ActMutTrunc:
 		keep := d.mutArg
 		if keep < 0 {
-			keep = int(r.next() % uint64(n))
+			// Keep at least one byte: a zero-length prefix is a lost
+			// write, not truncation rot — an acknowledged record
+			// vanishing without a trace is outside the stable-memory
+			// fault model and undetectable by construction in a
+			// self-delimiting stream. A pinned arg of 0 still models it
+			// explicitly.
+			keep = 1
+			if n > 1 {
+				keep += int(r.next() % uint64(n-1))
+			}
 		}
 		if keep > n {
 			keep = n

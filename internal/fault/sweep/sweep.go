@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 
 	"mmdb"
@@ -166,6 +167,20 @@ type Detection struct {
 	// CkptVerifyFailed counts checkpoint images that failed write-verify
 	// (checkpoint/verify_failed).
 	CkptVerifyFailed int64 `json:"ckpt_verify_failed"`
+	// ImagesQuarantined counts whole checkpoint images rejected at read
+	// time — stale catalog track or envelope-checksum failure — and
+	// handed to the archive-rebuild path (restart/images_quarantined).
+	ImagesQuarantined int64 `json:"images_quarantined"`
+	// ArchiveRebuilds / ArchiveRebuildFailed count partition rebuilds
+	// served from the archive tier and rebuild attempts that degraded to
+	// an announced-empty image (archive/rebuilds, archive/rebuild_failed).
+	ArchiveRebuilds      int64 `json:"archive_rebuilds"`
+	ArchiveRebuildFailed int64 `json:"archive_rebuild_failed"`
+	// TornTailCuts counts undecodable bin-tail suffixes cut at restart
+	// (restart/torn_tail_cuts). A cut is either the crash's own torn
+	// final append or tail-truncating rot; the two are byte-identical,
+	// so the cut counts as detection evidence for mutation plans.
+	TornTailCuts int64 `json:"torn_tail_cuts"`
 }
 
 func (d *Detection) add(o Detection) {
@@ -175,12 +190,20 @@ func (d *Detection) add(o Detection) {
 	d.DuplexRepairs += o.DuplexRepairs
 	d.HeatSnapshotRejects += o.HeatSnapshotRejects
 	d.CkptVerifyFailed += o.CkptVerifyFailed
+	d.ImagesQuarantined += o.ImagesQuarantined
+	d.ArchiveRebuilds += o.ArchiveRebuilds
+	d.ArchiveRebuildFailed += o.ArchiveRebuildFailed
+	d.TornTailCuts += o.TornTailCuts
 }
 
 // Total is the number of detection events across every channel.
+// Archive rebuilds are repair, not detection, and every rebuild is
+// preceded by an images_quarantined event, so they are deliberately
+// left out to avoid double counting.
 func (d Detection) Total() int64 {
 	return d.QuarantinedRecords + d.CorruptDetected + d.DuplexFallbacks +
-		d.DuplexRepairs + d.HeatSnapshotRejects + d.CkptVerifyFailed
+		d.DuplexRepairs + d.HeatSnapshotRejects + d.CkptVerifyFailed +
+		d.ImagesQuarantined + d.TornTailCuts
 }
 
 // PlanStat is the per-plan record of one executed cycle, surfaced in
@@ -231,6 +254,9 @@ type Result struct {
 	BaselineHits map[fault.Point]int64
 	// PlanStats is the per-plan ledger, in execution order.
 	PlanStats []PlanStat
+	// Detection sums every plan's detection ledger: the sweep-wide
+	// evidence totals (quarantines, duplex fallbacks, image rebuilds).
+	Detection Detection
 	// Violations are the detected failures, each with its reproducer.
 	Violations []Violation
 }
@@ -322,6 +348,7 @@ func Run(opts Options) (*Result, error) {
 			status = "VIOLATION"
 		}
 		res.PlanStats = append(res.PlanStats, stat)
+		res.Detection.add(r.det)
 		opts.Logf("sweep: [%d/%d] %s — %s", i+1, len(plans), pl.String(), status)
 	}
 	return res, nil
@@ -338,12 +365,23 @@ func hasMutationAct(p fault.Plan) bool {
 	return false
 }
 
-// Replay runs a single explicit plan, returning whether its rules fired
-// and the violation, if any.
-func Replay(opts Options, plan fault.Plan) (fired int64, vio *Violation) {
+// Replay runs a single explicit plan, returning its full per-plan
+// ledger and the violation, if any.
+func Replay(opts Options, plan fault.Plan) (stat PlanStat, vio *Violation) {
 	opts.defaults()
 	r := runPlan(&opts, plan)
-	return r.fired, r.vio
+	stat = PlanStat{
+		Plan:            plan.String(),
+		Fired:           r.fired,
+		PowerCycles:     r.cycles,
+		Detection:       r.det,
+		TolerableLosses: r.tolerated,
+		Livelock:        r.livelock,
+	}
+	if r.vio != nil {
+		stat.Violation = r.vio.Desc
+	}
+	return stat, r.vio
 }
 
 // enumerate builds the plan list: for every selected point, every
@@ -375,11 +413,7 @@ func enumerate(opts *Options, hits map[fault.Point]int64) []fault.Plan {
 	return plans
 }
 
-// actsFor returns the actions meaningful at a point. Corrupting an
-// acknowledged checkpoint image is excluded: the single checkpoint disk
-// has no mirror, so a latent bad track there is a media failure needing
-// the archive rebuild path, not a crash-recovery property (see
-// ROADMAP.md open items).
+// actsFor returns the actions meaningful at a point.
 func actsFor(p fault.Point) []fault.Act {
 	switch p {
 	case fault.PointStableAppend:
@@ -420,9 +454,28 @@ func actsFor(p fault.Point) []fault.Act {
 	case fault.PointLogReadPrimary, fault.PointLogReadMirror:
 		return []fault.Act{fault.ActIOErr, fault.ActCorrupt}
 	case fault.PointCkptRead:
-		return []fault.Act{fault.ActIOErr}
+		// flip/zero/trunc: checkpoint rot — the image was acknowledged
+		// good at write time but comes back damaged under valid sector
+		// ECC. The envelope checksum must quarantine the image and
+		// recovery must rebuild the partition from its archived history
+		// plus the log window; surrendering records here is a violation
+		// (see lossTolerated).
+		return []fault.Act{fault.ActIOErr,
+			fault.ActMutFlip, fault.ActMutZero, fault.ActMutTrunc}
 	case fault.PointCkptAfterFence, fault.PointCkptAfterImage, fault.PointCkptBeforeCommit:
 		return []fault.Act{fault.ActCrashBefore, fault.ActIOErr}
+	case fault.PointArchAppend:
+		// Log-window rollover into the archive tier. A crash or error
+		// here must leave the rolled pages on the log disk (drop happens
+		// only after the archive sync succeeds), so the history stays
+		// whole; appends are at-least-once and readers dedup by LSN.
+		return []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn,
+			fault.ActCrashAfter, fault.ActIOErr}
+	case fault.PointArchRead:
+		// Archive reads only happen while rebuilding a quarantined
+		// partition, so depth-1 baselines never hit this point; it earns
+		// its keep as a chained second stage (see stage2Rules).
+		return []fault.Act{fault.ActIOErr, fault.ActCorrupt}
 	}
 	return nil
 }
@@ -448,7 +501,13 @@ func stage2Rules() []fault.Rule {
 	}{
 		{fault.PointLogReadPrimary, []fault.Act{fault.ActCrashBefore, fault.ActIOErr}},
 		{fault.PointLogReadMirror, []fault.Act{fault.ActCrashBefore, fault.ActIOErr}},
-		{fault.PointCkptRead, []fault.Act{fault.ActCrashBefore, fault.ActIOErr}},
+		{fault.PointCkptRead, []fault.Act{fault.ActCrashBefore, fault.ActIOErr,
+			fault.ActMutFlip, fault.ActMutTrunc}},
+		// Archive reads fire only inside a partition rebuild, which needs
+		// a quarantined image first — exactly what a chained stage after a
+		// ckpt.read mutation provides. Crashing or erroring mid-rebuild
+		// must power-cycle into a clean retry, never a torn partition.
+		{fault.PointArchRead, []fault.Act{fault.ActCrashBefore, fault.ActIOErr}},
 		{fault.PointStableAppend, []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn}},
 		{fault.PointSLBAppend, []fault.Act{fault.ActCrashBefore}},
 		{fault.PointLogWritePrimary, []fault.Act{fault.ActCrashBefore, fault.ActCrashTorn, fault.ActIOErr}},
@@ -603,21 +662,87 @@ func (r *runner) collect(db *mmdb.DB) {
 	s := db.Metrics()
 	restart := s.Subsystem("restart")
 	faultS := s.Subsystem("fault")
+	arch := s.Subsystem("archive")
 	r.det.add(Detection{
-		QuarantinedRecords:  restart.Counter("quarantined_records"),
-		CorruptDetected:     restart.Counter("corrupt_records_detected"),
-		DuplexFallbacks:     faultS.Counter("duplex_fallbacks"),
-		DuplexRepairs:       faultS.Counter("duplex_repairs"),
-		HeatSnapshotRejects: s.Subsystem("heat").Counter("snapshot_rejected"),
-		CkptVerifyFailed:    s.Subsystem("checkpoint").Counter("verify_failed"),
+		QuarantinedRecords:   restart.Counter("quarantined_records"),
+		CorruptDetected:      restart.Counter("corrupt_records_detected"),
+		DuplexFallbacks:      faultS.Counter("duplex_fallbacks"),
+		DuplexRepairs:        faultS.Counter("duplex_repairs"),
+		HeatSnapshotRejects:  s.Subsystem("heat").Counter("snapshot_rejected"),
+		CkptVerifyFailed:     s.Subsystem("checkpoint").Counter("verify_failed"),
+		ImagesQuarantined:    restart.Counter("images_quarantined"),
+		ArchiveRebuilds:      arch.Counter("rebuilds"),
+		ArchiveRebuildFailed: arch.Counter("rebuild_failed"),
+		TornTailCuts:         restart.Counter("torn_tail_cuts"),
 	})
 }
 
 // lossTolerated reports whether the cycle's recorded losses are
 // announced (detected) casualties of a mutation plan rather than silent
-// corruption.
+// corruption. Rot confined to checkpoint-image reads is never a
+// tolerable loss: the archived history plus the resident log window
+// still hold every committed effect from LSN 1, so recovery must
+// rebuild the partition, not surrender records.
 func (r *runner) lossTolerated() bool {
-	return hasMutationAct(r.plan) && r.det.Total() > 0
+	if !hasMutationAct(r.plan) || r.det.Total() == 0 {
+		return false
+	}
+	return !mutationsOnlyAt(r.plan, fault.PointCkptRead)
+}
+
+// faultsArchive reports whether any stage of the plan injects a fault
+// at the archive tier's own points, disrupting appends or rebuilds.
+func faultsArchive(pl fault.Plan) bool {
+	for _, rule := range pl.AllRules() {
+		if rule.Point == fault.PointArchRead || rule.Point == fault.PointArchAppend {
+			return true
+		}
+	}
+	return false
+}
+
+// mutationsOnlyAt reports whether the plan carries mutation acts and
+// every one of them targets point p.
+func mutationsOnlyAt(pl fault.Plan, p fault.Point) bool {
+	any := false
+	for _, rule := range pl.AllRules() {
+		if !rule.Act.IsMutation() {
+			continue
+		}
+		if rule.Point != p {
+			return false
+		}
+		any = true
+	}
+	return any
+}
+
+// ckptRotInvariant checks the repair side of checkpoint rot: whenever a
+// cycle quarantined a whole image, the archive tier must have served
+// the rebuild. A quarantine with no rebuild means the loss branch
+// silently skipped the archive; a rebuild failure means the cycle
+// degraded a partition to an announced-empty image even though the
+// archive held its history.
+//
+// The rebuild-must-complete half is excused when the plan itself faults
+// the archive points: an injected arch.read crash kills the rebuild
+// mid-flight, and the retry cycle may read a clean image (transient rot
+// is pinned to a hit index), so the quarantine legitimately goes
+// unanswered. Loss checks still apply — the excuse covers the missing
+// ledger entry, not missing data.
+func (r *runner) ckptRotInvariant() *Violation {
+	if r.det.ImagesQuarantined == 0 {
+		return nil
+	}
+	if r.det.ArchiveRebuilds == 0 && !faultsArchive(r.plan) {
+		return r.viof("quarantined %d checkpoint images without a single archive rebuild",
+			r.det.ImagesQuarantined)
+	}
+	if r.det.ArchiveRebuildFailed > 0 {
+		return r.viof("%d partitions degraded to empty images with the archive tier present",
+			r.det.ArchiveRebuildFailed)
+	}
+	return nil
 }
 
 // loss records one missing committed effect for the end-of-verify
@@ -648,6 +773,13 @@ func runPlan(opts *Options, plan fault.Plan) planResult {
 		r.cfg.LogWindowPages = 1 << 20
 	}
 	r.cfg.FaultInjector = r.inj
+	// Real segment files for the archive tier, so every plan's rebuild
+	// path exercises the osFS backend (frame decode off disk, fsync
+	// ordering, tail repair) rather than the in-memory stand-in.
+	if dir, err := os.MkdirTemp("", "sweep-arch-*"); err == nil {
+		r.cfg.ArchiveDir = dir
+		defer os.RemoveAll(dir)
+	}
 	vio := r.run()
 	return planResult{
 		hits: r.hits, fired: r.fired, cycles: r.cycles,
@@ -702,7 +834,16 @@ func (r *runner) run() *Violation {
 				return r.viof("recover: %v", err)
 			}
 			// A fault hit the restart path itself; fired rules are
-			// consumed, so a power-cycle retry converges.
+			// consumed, so a power-cycle retry converges. Restart may
+			// have quarantined corruption before dying — fold the dead
+			// instance's counters in, or a mutation whose damage restart
+			// both detected and consumed (e.g. a quarantined stable-log
+			// suffix, drained before the chained crash) would read as
+			// silent loss.
+			if d != nil {
+				hw = d.Crash()
+				r.collect(d)
+			}
 			r.inj.ClearCrash()
 			continue
 		}
@@ -751,6 +892,9 @@ func (r *runner) run() *Violation {
 	r.collect(db)
 	if v == nil {
 		v = r.judgeLosses()
+	}
+	if v == nil {
+		v = r.ckptRotInvariant()
 	}
 	if v != nil {
 		db.Crash()

@@ -64,13 +64,13 @@ func TestSweepDetectsBrokenDuplexRepair(t *testing.T) {
 	// on -> violation again; sabotage off -> the fallback repairs it.
 	broken := opts
 	broken.Points = nil
-	if fired, vio := Replay(broken, v.Plan); vio == nil {
-		t.Fatalf("plan %q did not reproduce its violation (fired=%d)", v.Plan.String(), fired)
+	if stat, vio := Replay(broken, v.Plan); vio == nil {
+		t.Fatalf("plan %q did not reproduce its violation (fired=%d)", v.Plan.String(), stat.Fired)
 	}
 	fixed := broken
 	fixed.BreakDuplex = false
-	if fired, vio := Replay(fixed, v.Plan); vio != nil {
-		t.Fatalf("plan %q violates even with the duplex fallback enabled: %s (fired=%d)", v.Plan.String(), vio, fired)
+	if stat, vio := Replay(fixed, v.Plan); vio != nil {
+		t.Fatalf("plan %q violates even with the duplex fallback enabled: %s (fired=%d)", v.Plan.String(), vio, stat.Fired)
 	}
 }
 

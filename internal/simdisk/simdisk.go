@@ -614,10 +614,19 @@ func (t *Tape) Len() int {
 
 // Scan calls fn for each archived entry in append order. fn must not
 // retain the slice.
+//
+// The tape mutex is NOT held across fn: the entry list is snapshotted
+// under the lock and then iterated outside it, so fn may itself use
+// the tape (a scan that appends, or a nested scan) without
+// self-deadlocking, and log rollover is never stalled behind a slow
+// archive scan. Entries appended after the scan starts are not
+// visited. Entry slices are immutable once appended, so the snapshot
+// needs no deep copy.
 func (t *Tape) Scan(fn func(entry []byte) error) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, e := range t.entries {
+	entries := t.entries[:len(t.entries):len(t.entries)]
+	t.mu.Unlock()
+	for _, e := range entries {
 		if err := fn(e); err != nil {
 			return err
 		}

@@ -140,6 +140,13 @@ const (
 	// range's owner is known; Str = the typed decode error).
 	KindRecordQuarantine
 
+	// A lost or rotted checkpoint image was repaired by replaying the
+	// partition's archived history (§2.6): Arg = log pages replayed,
+	// Arg2 = damaged archive entries skipped along the way; Str is set
+	// to the failure when the archive could not serve and recovery
+	// degraded to an announced empty image.
+	KindArchiveRebuild
+
 	kindMax
 )
 
@@ -177,6 +184,7 @@ var kindNames = [...]string{
 	KindSweepProgress:    "sweep-progress",
 	KindHeatP99Restored:  "heat-p99-restored",
 	KindRecordQuarantine: "record-quarantine",
+	KindArchiveRebuild:   "archive-rebuild",
 }
 
 func (k Kind) String() string {
@@ -205,7 +213,8 @@ func (k Kind) Subsystem() string {
 		return "checkpoint"
 	case KindRootScanBegin, KindRootScanEnd, KindPartRedo, KindSweepBegin, KindSweepEnd,
 		KindSweepWorkerBegin, KindSweepWorkerEnd, KindSweepError,
-		KindSweepProgress, KindHeatP99Restored, KindRecordQuarantine:
+		KindSweepProgress, KindHeatP99Restored, KindRecordQuarantine,
+		KindArchiveRebuild:
 		return "restart"
 	case KindHeatSnapshot:
 		return "heat"

@@ -160,7 +160,7 @@ func (a Arrivals) Schedule(n int) []time.Duration {
 	for i := range out {
 		rate := a.Rate
 		if a.Burst > 1 && a.BurstEvery > 0 && a.BurstLen > 0 {
-			phase := time.Duration(t * float64(time.Second)) % a.BurstEvery
+			phase := time.Duration(t*float64(time.Second)) % a.BurstEvery
 			if phase < a.BurstLen {
 				rate *= a.Burst
 			}

@@ -101,7 +101,10 @@ type DB struct {
 
 // Open creates a fresh database on newly provisioned hardware.
 func Open(cfg Config) (*DB, error) {
-	hw := core.NewHardware(cfg)
+	hw, err := core.NewHardware(cfg)
+	if err != nil {
+		return nil, err
+	}
 	store := mm.NewStore(cfg.PartitionSize)
 	locks := lock.NewManager()
 	mgr, err := core.New(hw, cfg, store, locks)
@@ -402,6 +405,13 @@ func (db *DB) Crash() *Hardware {
 // §2.5: restore the catalogs from the well-known root, resume
 // transaction processing immediately, and recover data partitions on
 // demand (plus a background sweep when cfg.BackgroundRecovery is set).
+//
+// When restart itself fails, Recover returns BOTH the error and a dead
+// husk of the instance, good only for Crash() and Metrics(): restart
+// may have detected and quarantined corruption before dying, and that
+// evidence lives in the instance's metrics registry. Callers that
+// retry after an injected restart fault (the crash sweep) fold the
+// husk's counters into their ledger; everyone else ignores it.
 func Recover(hw *Hardware, cfg Config) (*DB, error) {
 	store := mm.NewStore(cfg.PartitionSize)
 	locks := lock.NewManager()
@@ -413,10 +423,10 @@ func Recover(hw *Hardware, cfg Config) (*DB, error) {
 	// Restart needs no catalog callbacks: catalog locations come from
 	// the stable root.
 	if _, err := mgr.Restart(); err != nil {
-		return nil, err
+		return db, err
 	}
 	if err := db.loadCatalogs(); err != nil {
-		return nil, err
+		return db, err
 	}
 	db.wire()
 	mgr.Resume()
